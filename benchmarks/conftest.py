@@ -1,0 +1,66 @@
+"""Shared helpers for the figure benchmarks.
+
+Each benchmark regenerates one cell of a figure of the paper: it builds
+the Table 2 workload for that cell, runs one algorithm, records the
+paper's metrics (sumDepths, combinations formed, bound share) in
+``benchmark.extra_info``, and lets pytest-benchmark own the wall-clock
+measurement (the paper's "total CPU time" axis).
+
+A fresh engine is constructed inside every measured round: bounding
+schemes carry per-run synchronisation state and must not be reused.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AccessKind, EuclideanLogScoring, make_algorithm
+from repro.data import SyntheticConfig, city_problem, generate_problem
+
+ALGORITHMS = ("CBRR", "CBPA", "TBRR", "TBPA")
+
+#: One dataset per cell keeps benchmark time manageable; the experiment
+#: harness (python -m repro.experiments) is the multi-seed path.
+BENCH_SEED = 0
+N_TUPLES = 400
+
+
+def synthetic_problem(**overrides):
+    config = SyntheticConfig(
+        n_relations=overrides.pop("n_relations", 2),
+        dims=overrides.pop("dims", 2),
+        density=overrides.pop("density", 50.0),
+        skew=overrides.pop("skew", 1.0),
+        n_tuples=overrides.pop("n_tuples", N_TUPLES),
+        seed=overrides.pop("seed", BENCH_SEED),
+    )
+    assert not overrides, f"unknown overrides: {overrides}"
+    return generate_problem(config)
+
+
+def run_and_record(benchmark, problem, algo, k=10, *, rounds=1, **algo_kwargs):
+    """Benchmark ``algo`` on ``problem`` and stash the paper's metrics."""
+    relations, query = problem
+    scoring = EuclideanLogScoring(1.0, 1.0, 1.0)
+
+    def once():
+        engine = make_algorithm(
+            algo, relations, scoring, query, k,
+            kind=AccessKind.DISTANCE, **algo_kwargs,
+        )
+        return engine.run()
+
+    result = benchmark.pedantic(once, rounds=rounds, iterations=1)
+    benchmark.extra_info["sum_depths"] = result.sum_depths
+    benchmark.extra_info["depths"] = list(result.depths)
+    benchmark.extra_info["combinations_formed"] = result.combinations_formed
+    benchmark.extra_info["bound_seconds"] = round(result.bound_seconds, 6)
+    benchmark.extra_info["dominance_seconds"] = round(result.dominance_seconds, 6)
+    benchmark.extra_info["completed"] = result.completed
+    return result
+
+
+@pytest.fixture(scope="session")
+def city_problems():
+    return {code: city_problem(code) for code in ("SF", "NY", "BO", "DA", "HO")}

@@ -1,0 +1,17 @@
+"""Figure 3(i)/(l): the five city datasets (real-data substitute).
+
+Paper shapes: TBPA outperforms CBPA by ~35% sumDepths on average; the
+adaptive strategy helps both bounding schemes (~30% fewer accesses).
+"""
+
+import pytest
+
+from conftest import ALGORITHMS, run_and_record
+
+
+@pytest.mark.parametrize("city", ["SF", "NY", "BO", "DA", "HO"])
+@pytest.mark.parametrize("algo", ALGORITHMS)
+def test_fig3i_fig3l(benchmark, algo, city, city_problems):
+    result = run_and_record(benchmark, city_problems[city], algo, k=10, rounds=3)
+    assert result.completed
+    assert len(result.combinations) == 10

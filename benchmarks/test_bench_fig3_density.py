@@ -1,0 +1,17 @@
+"""Figure 3(c)/(f): sumDepths and total CPU time vs density rho.
+
+Paper shapes: sumDepths increases with density for all algorithms, with
+the tight bound keeping a 20-30% I/O advantage across the range.
+"""
+
+import pytest
+
+from conftest import ALGORITHMS, run_and_record, synthetic_problem
+
+
+@pytest.mark.parametrize("density", [20.0, 50.0, 100.0, 200.0])
+@pytest.mark.parametrize("algo", ALGORITHMS)
+def test_fig3c_fig3f(benchmark, algo, density):
+    problem = synthetic_problem(density=density)
+    result = run_and_record(benchmark, problem, algo, rounds=3)
+    assert result.completed

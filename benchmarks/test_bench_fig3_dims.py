@@ -1,0 +1,19 @@
+"""Figure 3(b)/(e): sumDepths and total CPU time vs dimensionality d.
+
+Paper shapes: the tight bound's gain grows with d (emptier spaces make
+the corner bound's zero-centroid-distance assumption worse), and the
+tight-bound CPU cost does not grow with d (the inner problem is 1-D
+regardless of the feature-space dimension).
+"""
+
+import pytest
+
+from conftest import ALGORITHMS, run_and_record, synthetic_problem
+
+
+@pytest.mark.parametrize("dims", [1, 2, 4, 8, 16])
+@pytest.mark.parametrize("algo", ALGORITHMS)
+def test_fig3b_fig3e(benchmark, algo, dims):
+    problem = synthetic_problem(dims=dims)
+    result = run_and_record(benchmark, problem, algo, rounds=3)
+    assert result.completed

@@ -1,0 +1,34 @@
+"""Figures 3(m)/(n): total CPU time vs dominance period for n = 2 and
+n = 3 (tight-bound algorithms only).
+
+Paper shapes: at n = 2 dominance checking after every access costs more
+than it saves, with a small (~4%) win around period 8-16; at n = 3 the
+test is always beneficial, best (~35%) around period 8.  Period None is
+the paper's "infinity" (dominance disabled) bar.
+"""
+
+import pytest
+
+from conftest import run_and_record, synthetic_problem
+
+PERIODS = [1, 2, 4, 8, 12, 16, None]
+
+
+@pytest.mark.parametrize("period", PERIODS)
+@pytest.mark.parametrize("algo", ["TBRR", "TBPA"])
+def test_fig3m_n2(benchmark, algo, period):
+    problem = synthetic_problem(n_relations=2)
+    result = run_and_record(
+        benchmark, problem, algo, rounds=3, dominance_period=period
+    )
+    assert result.completed
+
+
+@pytest.mark.parametrize("period", PERIODS)
+@pytest.mark.parametrize("algo", ["TBRR", "TBPA"])
+def test_fig3n_n3(benchmark, algo, period):
+    problem = synthetic_problem(n_relations=3)
+    result = run_and_record(
+        benchmark, problem, algo, rounds=1, dominance_period=period
+    )
+    assert result.completed

@@ -1,0 +1,20 @@
+"""Figure 3(a)/(d): sumDepths and total CPU time vs number of results K.
+
+Paper shapes to check in the recorded extra_info:
+* sumDepths grows sublinearly with K for every algorithm;
+* TBPA reads 25-45% less than CBPA, more so for small K;
+* TBPA costs roughly 4x CBPA's CPU at n = 2 (the tight bound overhead).
+"""
+
+import pytest
+
+from conftest import ALGORITHMS, run_and_record, synthetic_problem
+
+
+@pytest.mark.parametrize("k", [1, 10, 50])
+@pytest.mark.parametrize("algo", ALGORITHMS)
+def test_fig3a_fig3d(benchmark, algo, k):
+    problem = synthetic_problem()
+    result = run_and_record(benchmark, problem, algo, k=k, rounds=3)
+    assert result.completed
+    assert len(result.combinations) == k

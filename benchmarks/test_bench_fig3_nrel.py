@@ -1,0 +1,21 @@
+"""Figure 3(h)/(k): sumDepths and total CPU time vs number of relations n.
+
+Paper shapes: TBPA's I/O gain exceeds 50% at n = 3; corner-bound
+algorithms drown in combination formation as n grows (the paper's CBPA
+could not finish n = 4 in five minutes on 2010 hardware; our vectorised
+scorer completes it, and the recorded combinations_formed gap — roughly
+25x — is the faithful signal).
+"""
+
+import pytest
+
+from conftest import ALGORITHMS, run_and_record, synthetic_problem
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+@pytest.mark.parametrize("algo", ALGORITHMS)
+def test_fig3h_fig3k(benchmark, algo, n):
+    problem = synthetic_problem(n_relations=n)
+    rounds = 3 if n == 2 else 1
+    result = run_and_record(benchmark, problem, algo, rounds=rounds)
+    assert result.completed

@@ -1,0 +1,17 @@
+"""Figure 3(g)/(j): sumDepths and total CPU time vs skewness rho1/rho2.
+
+Paper shape: the potential-adaptive strategies' advantage over
+round-robin grows with skew (up to 25-30% at skew >= 4).
+"""
+
+import pytest
+
+from conftest import ALGORITHMS, run_and_record, synthetic_problem
+
+
+@pytest.mark.parametrize("skew", [1.0, 2.0, 4.0, 8.0])
+@pytest.mark.parametrize("algo", ALGORITHMS)
+def test_fig3g_fig3j(benchmark, algo, skew):
+    problem = synthetic_problem(skew=skew)
+    result = run_and_record(benchmark, problem, algo, rounds=3)
+    assert result.completed

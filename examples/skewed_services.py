@@ -1,0 +1,48 @@
+"""Adaptive pulling under skewed densities (Figure 3(g) in miniature).
+
+When one service is much denser than another — a metropolitan restaurant
+directory joined with a sparse national park registry — pulling both at
+the same rate wastes accesses on the dense side.  The potential-adaptive
+strategy notices (via the per-relation potentials) that deepening the
+sparse relation lowers the bound faster, and unbalances its pulls
+accordingly.
+
+The example sweeps skew = rho1/rho2 in {1, 2, 4, 8} and prints how the
+round-robin vs adaptive gap widens, for both bounding schemes.
+
+Run:  python examples/skewed_services.py
+"""
+
+from repro import EuclideanLogScoring, make_algorithm
+from repro.core import AccessKind
+from repro.data import SyntheticConfig, generate_problem
+
+scoring = EuclideanLogScoring()
+K = 10
+SEEDS = range(5)
+
+print(f"{'skew':>6} {'CBRR':>8} {'CBPA':>8} {'TBRR':>8} {'TBPA':>8}   adaptive gain (TB)")
+for skew in (1.0, 2.0, 4.0, 8.0):
+    means = {}
+    for algo in ("CBRR", "CBPA", "TBRR", "TBPA"):
+        total = 0
+        for seed in SEEDS:
+            relations, query = generate_problem(
+                SyntheticConfig(n_relations=2, dims=2, density=50.0,
+                                skew=skew, n_tuples=400, seed=seed)
+            )
+            result = make_algorithm(
+                algo, relations, scoring, query, K, kind=AccessKind.DISTANCE
+            ).run()
+            total += result.sum_depths
+        means[algo] = total / len(SEEDS)
+    gain = 1.0 - means["TBPA"] / means["TBRR"]
+    print(
+        f"{skew:6.0f} {means['CBRR']:8.1f} {means['CBPA']:8.1f} "
+        f"{means['TBRR']:8.1f} {means['TBPA']:8.1f}   {gain:6.1%}"
+    )
+
+print(
+    "\nAs skew grows, the adaptive strategy reads fewer tuples than "
+    "round-robin\n(the paper reports gains of 25-30% at skew >= 4)."
+)

@@ -1,0 +1,56 @@
+"""Core library: the proximity rank join problem, the ProxRJ template and
+the four evaluated algorithms (CBRR/CBPA/TBRR/TBPA)."""
+
+from repro.core.access import AccessKind, DistanceAccess, ScoreAccess, open_streams
+from repro.core.algorithms import ALGORITHMS, cbpa, cbrr, make_algorithm, tbpa, tbrr
+from repro.core.bounds import ApproxTightBound, CornerBound, TightBound
+from repro.core.buffers import TopKBuffer
+from repro.core.naive import brute_force_topk
+from repro.core.probing import ProbeRankJoin, ProbeRunResult
+from repro.core.pulling import PotentialAdaptive, PullingStrategy, RoundRobin
+from repro.core.relation import Combination, RankTuple, Relation
+from repro.core.scoring import (
+    CosineProximityScoring,
+    EuclideanLogScoring,
+    LinearScoring,
+    QuadraticFormScoring,
+    Scoring,
+)
+from repro.core.template import ProxRJ, RunResult
+from repro.core.tracing import PullEvent, RunTrace, TraceBound
+
+__all__ = [
+    "AccessKind",
+    "DistanceAccess",
+    "ScoreAccess",
+    "open_streams",
+    "ALGORITHMS",
+    "cbpa",
+    "cbrr",
+    "make_algorithm",
+    "tbpa",
+    "tbrr",
+    "ApproxTightBound",
+    "CornerBound",
+    "TightBound",
+    "TopKBuffer",
+    "brute_force_topk",
+    "ProbeRankJoin",
+    "ProbeRunResult",
+    "PotentialAdaptive",
+    "PullingStrategy",
+    "RoundRobin",
+    "Combination",
+    "RankTuple",
+    "Relation",
+    "CosineProximityScoring",
+    "EuclideanLogScoring",
+    "LinearScoring",
+    "QuadraticFormScoring",
+    "Scoring",
+    "ProxRJ",
+    "RunResult",
+    "PullEvent",
+    "RunTrace",
+    "TraceBound",
+]

@@ -1,0 +1,220 @@
+"""Sequential access streams over relations (Definition 2.1).
+
+The paper's algorithms never see a relation directly — only a stream that
+returns tuples one at a time, either in increasing distance from the query
+(access kind A) or in decreasing score (access kind B).  The stream also
+exposes exactly the statistics the bounding schemes are allowed to use:
+the distance/score of the first and last tuple retrieved so far, the
+depth, and the relation's ``sigma_max``.
+
+``DistanceAccess`` can traverse a k-d tree incrementally (the realistic
+spatial-engine path) or pre-sort (simplest correct baseline); both produce
+identical streams and are property-tested against each other.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Iterator, Protocol
+
+import numpy as np
+
+from repro.core.relation import RankTuple, Relation
+from repro.spatial.kdtree import KDTree
+
+__all__ = [
+    "AccessKind",
+    "AccessStream",
+    "DistanceAccess",
+    "ScoreAccess",
+    "open_streams",
+]
+
+
+class AccessKind(Enum):
+    """The two access kinds of Definition 2.1."""
+
+    DISTANCE = "distance"  # kind A: increasing delta(x, q)
+    SCORE = "score"  # kind B: decreasing sigma
+
+
+class AccessStream(Protocol):
+    """What the ProxRJ engine and the bounding schemes may observe."""
+
+    kind: AccessKind
+    relation: Relation
+
+    @property
+    def depth(self) -> int: ...
+
+    @property
+    def exhausted(self) -> bool: ...
+
+    def next(self) -> RankTuple | None: ...
+
+    @property
+    def sigma_max(self) -> float: ...
+
+
+class _BaseStream:
+    """Shared depth/exhaustion bookkeeping."""
+
+    kind: AccessKind
+
+    def __init__(self, relation: Relation) -> None:
+        self.relation = relation
+        self._seen: list[RankTuple] = []
+
+    @property
+    def depth(self) -> int:
+        """Number of tuples pulled so far (``p_i`` in the paper)."""
+        return len(self._seen)
+
+    @property
+    def seen(self) -> list[RankTuple]:
+        """The extracted prefix ``P_i`` in access order."""
+        return self._seen
+
+    @property
+    def sigma_max(self) -> float:
+        return self.relation.sigma_max
+
+    @property
+    def exhausted(self) -> bool:
+        return self.depth >= len(self.relation)
+
+
+class DistanceAccess(_BaseStream):
+    """Access kind A: tuples in non-decreasing distance from ``query``.
+
+    Ties are broken by tuple id, making the stream deterministic (the
+    paper requires deterministic algorithms for instance-optimality).
+
+    Parameters
+    ----------
+    relation, query:
+        The relation and the query vector ``q``.
+    metric:
+        Distance function; Euclidean by default.  The incremental k-d
+        tree path is only valid for the Euclidean metric; other metrics
+        fall back to pre-sorting.
+    use_index:
+        Traverse a k-d tree incrementally instead of sorting everything
+        up-front.  Results are identical; this mirrors how a spatial
+        service would lazily produce its output.
+    """
+
+    kind = AccessKind.DISTANCE
+
+    def __init__(
+        self,
+        relation: Relation,
+        query: np.ndarray,
+        *,
+        metric: Callable[[np.ndarray, np.ndarray], float] | None = None,
+        use_index: bool = False,
+    ) -> None:
+        super().__init__(relation)
+        self.query = np.asarray(query, dtype=float)
+        if self.query.shape != (relation.dim,):
+            raise ValueError(
+                f"query shape {self.query.shape} does not match relation "
+                f"dimension {relation.dim}"
+            )
+        self._distances: list[float] = []
+        if use_index and metric is None:
+            tree = KDTree(
+                np.array([t.vector for t in relation], dtype=float),
+                payloads=list(relation),
+            )
+            self._iter = self._indexed_iter(tree)
+        else:
+            dist = metric if metric is not None else _euclid
+            order = sorted(
+                relation, key=lambda t: (dist(t.vector, self.query), t.tid)
+            )
+            self._iter = iter(
+                [(dist(t.vector, self.query), t) for t in order]
+            )
+
+    def _indexed_iter(self, tree: KDTree) -> Iterator[tuple[float, RankTuple]]:
+        # The k-d stream is distance-sorted but breaks distance ties
+        # arbitrarily; buffer runs of equal distance and emit by tid so the
+        # indexed and sorted paths are bit-identical.
+        run: list[tuple[float, RankTuple]] = []
+        for dist, tup in tree.iter_nearest(self.query):
+            if run and dist > run[-1][0] + 1e-12:
+                yield from sorted(run, key=lambda p: p[1].tid)
+                run = []
+            run.append((dist, tup))
+        yield from sorted(run, key=lambda p: p[1].tid)
+
+    def next(self) -> RankTuple | None:
+        """Pull the next tuple; ``None`` once the relation is exhausted."""
+        try:
+            dist, tup = next(self._iter)
+        except StopIteration:
+            return None
+        self._seen.append(tup)
+        self._distances.append(float(dist))
+        return tup
+
+    @property
+    def first_distance(self) -> float:
+        """``delta(x(R_i[1]), q)``; 0 before any access (paper convention)."""
+        return self._distances[0] if self._distances else 0.0
+
+    @property
+    def last_distance(self) -> float:
+        """``delta_i = delta(x(R_i[p_i]), q)``; 0 before any access."""
+        return self._distances[-1] if self._distances else 0.0
+
+
+class ScoreAccess(_BaseStream):
+    """Access kind B: tuples in non-increasing score, ties by tuple id."""
+
+    kind = AccessKind.SCORE
+
+    def __init__(self, relation: Relation) -> None:
+        super().__init__(relation)
+        self._order = sorted(relation, key=lambda t: (-t.score, t.tid))
+        self._pos = 0
+
+    def next(self) -> RankTuple | None:
+        """Pull the next tuple; ``None`` once the relation is exhausted."""
+        if self._pos >= len(self._order):
+            return None
+        tup = self._order[self._pos]
+        self._pos += 1
+        self._seen.append(tup)
+        return tup
+
+    @property
+    def first_score(self) -> float:
+        """``sigma(R_i[1])``; ``sigma_max`` before any access."""
+        return self._seen[0].score if self._seen else self.sigma_max
+
+    @property
+    def last_score(self) -> float:
+        """``sigma(R_i[p_i])``; ``sigma_max`` before any access."""
+        return self._seen[-1].score if self._seen else self.sigma_max
+
+
+def _euclid(x: np.ndarray, y: np.ndarray) -> float:
+    d = x - y
+    return float(np.sqrt(d @ d))
+
+
+def open_streams(
+    relations: list[Relation],
+    kind: AccessKind,
+    query: np.ndarray | None = None,
+    *,
+    use_index: bool = False,
+) -> list[_BaseStream]:
+    """Open one access stream per relation with the given kind."""
+    if kind is AccessKind.DISTANCE:
+        if query is None:
+            raise ValueError("distance-based access requires a query vector")
+        return [DistanceAccess(r, query, use_index=use_index) for r in relations]
+    return [ScoreAccess(r) for r in relations]

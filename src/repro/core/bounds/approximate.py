@@ -1,0 +1,261 @@
+"""Budgeted approximation of the tight bound (cf. Finger & Polyzotis,
+SIGMOD 2009, which the paper cites as the I/O-vs-CPU middle ground).
+
+The exact tight bound solves the completion problem for *every* live
+partial combination after every access.  This scheme spends a fixed
+per-update budget instead:
+
+1. For every partial combination, keep a **relaxed completion bound**
+   that drops the mutual-proximity (centroid) coupling between seen and
+   unseen tuples — a closed form, no QP:
+
+       t_relax(tau) = sum_{i in M} g_i(sigma_i, d_q(x_i), d_{mu_M}(x_i))
+                    + sum_{j not in M} [ w_s u(sigma_j^max) - w_q delta_j^2 ]
+
+   where ``mu_M`` is the centroid of the *seen* members only.  Dropping
+   non-negative penalty terms can only increase the value, so
+   ``t_relax(tau) >= t(tau)``: a correct, if looser, upper bound.  It
+   splits into a per-combination *seen part* (computed once, immutable)
+   plus a per-subset *unseen part* (depends only on the current frontier
+   distances), so maintaining it costs O(1) per combination per update.
+
+2. Solve the exact QP only for the ``budget`` partial combinations with
+   the largest relaxed bounds (batched per subset).  The reported bound
+   is ``max(exact values of refined combinations, relaxed values of the
+   rest)`` — still a correct upper bound, and equal to the exact tight
+   bound whenever every relaxed value above the refined maximum was
+   inside the budget (near the top the two orders almost always agree).
+
+Correct always; instance-optimal only in the limit of a large budget.
+Distance-based access only — under score access the exact bound is
+already a closed form and needs no approximation (Algorithm 3).
+
+Why ``t_relax >= t``: in the exact completion problem the unseen tuples
+pay both their query distance (at least ``delta_j``) and their centroid
+distance, and the seen tuples pay distances to the *full* centroid,
+which the unseen placements drag away from the seen-only centroid
+``mu_M``; the relaxation charges the seen tuples the distance to the
+minimiser of their own spread (``mu_M`` minimises the seen spread sum)
+and charges the unseen tuples nothing beyond the query term.  Every
+dropped or substituted term is a lower bound of the exact one, and all
+enter with a negative sign.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import numpy as np
+
+from repro.core.access import AccessKind
+from repro.core.bounds.base import NEG_INFINITY, BoundingScheme, EngineState
+from repro.core.bounds.geometry import solve_completion_batch
+from repro.core.relation import RankTuple
+from repro.core.scoring import QuadraticFormScoring
+
+__all__ = ["ApproxTightBound"]
+
+_MAX_RELATIONS = 10
+
+
+class _Pool:
+    """Columnar store of one subset's partial combinations."""
+
+    __slots__ = ("members", "others", "scores", "vecs", "seen_part", "count")
+
+    def __init__(self, members: tuple[int, ...], others: tuple[int, ...]):
+        self.members = members
+        self.others = others
+        self.scores: list[np.ndarray] = []
+        self.vecs: list[np.ndarray] = []
+        self.seen_part: list[float] = []
+        self.count = 0
+
+
+class ApproxTightBound(BoundingScheme):
+    """Tight-bound approximation with a per-update exact-solve budget.
+
+    Parameters
+    ----------
+    budget:
+        Number of partial combinations (across all subsets) receiving an
+        exact completion solve per update; the rest contribute their
+        relaxed closed-form bounds.  ``budget = 0`` degenerates to the
+        pure relaxed scheme (still strictly sharper than the corner
+        bound, which also zeroes the seen tuples' geometry); a large
+        budget converges to the exact tight bound.
+    """
+
+    def __init__(self, budget: int = 32) -> None:
+        super().__init__()
+        if budget < 0:
+            raise ValueError("budget must be >= 0")
+        self.budget = budget
+        self._pools: list[_Pool] | None = None
+        self._synced: list[int] = []
+        self._pots: list[float] = []
+
+    @property
+    def is_tight(self) -> bool:
+        return False
+
+    def _init(self, state: EngineState) -> list[_Pool]:
+        if self._pools is None:
+            n = state.n
+            if n > _MAX_RELATIONS:
+                raise ValueError(f"n={n} exceeds the supported maximum")
+            if state.kind is not AccessKind.DISTANCE:
+                raise ValueError(
+                    "ApproxTightBound targets distance access; score access "
+                    "already has a closed-form exact bound (Algorithm 3)"
+                )
+            if not isinstance(state.scoring, QuadraticFormScoring):
+                raise TypeError("ApproxTightBound requires a QuadraticFormScoring")
+            self._pools = [
+                _Pool(
+                    tuple(i for i in range(n) if mask >> i & 1),
+                    tuple(i for i in range(n) if not mask >> i & 1),
+                )
+                for mask in range((1 << n) - 1)
+            ]
+            # M = {}: a single empty combination with zero seen part.
+            empty = self._pools[0]
+            empty.scores.append(np.zeros(0))
+            empty.vecs.append(np.zeros((0, len(state.query))))
+            empty.seen_part.append(0.0)
+            empty.count = 1
+            self._synced = [0] * n
+        return self._pools
+
+    def _seen_part(
+        self,
+        scoring: QuadraticFormScoring,
+        query: np.ndarray,
+        chosen: tuple[RankTuple, ...],
+    ) -> float:
+        pts = np.array([t.vector for t in chosen], dtype=float)
+        mu = pts.mean(axis=0)
+        total = 0.0
+        for t, p in zip(chosen, pts):
+            total += scoring.weighted_score(
+                0,
+                t.score,
+                float(np.linalg.norm(p - query)),
+                float(np.linalg.norm(p - mu)),
+            )
+        return total
+
+    def _append_new_combinations(
+        self, state: EngineState, pools: list[_Pool], new_counts: list[int]
+    ) -> None:
+        scoring = state.scoring
+        assert isinstance(scoring, QuadraticFormScoring)
+        for pool in pools:
+            if not pool.members:
+                continue
+            for r, j in enumerate(pool.members):
+                if new_counts[j] == 0:
+                    continue
+                sub_pools = []
+                for r2, l in enumerate(pool.members):
+                    seen = state.streams[l].seen
+                    if r2 < r:
+                        sub_pools.append(seen)
+                    elif r2 == r:
+                        sub_pools.append(seen[self._synced[l] :])
+                    else:
+                        sub_pools.append(seen[: self._synced[l]])
+                if any(not p for p in sub_pools):
+                    continue
+                for chosen in itertools.product(*sub_pools):
+                    pool.scores.append(np.array([t.score for t in chosen]))
+                    pool.vecs.append(
+                        np.array([t.vector for t in chosen], dtype=float)
+                    )
+                    pool.seen_part.append(
+                        self._seen_part(scoring, state.query, chosen)
+                    )
+                    pool.count += 1
+                    self.counters.entries_created += 1
+
+    def update(self, state: EngineState, i: int, tau: RankTuple) -> float:
+        start = time.perf_counter()
+        self.counters.updates += 1
+        pools = self._init(state)
+        scoring = state.scoring
+        assert isinstance(scoring, QuadraticFormScoring)
+        n = state.n
+        deltas = [s.last_distance for s in state.streams]
+        sigma_max = [s.sigma_max for s in state.streams]
+        new_counts = [s.depth - p for s, p in zip(state.streams, self._synced)]
+        self._append_new_combinations(state, pools, new_counts)
+        self._synced = [s.depth for s in state.streams]
+
+        # Relaxed values: per-combination seen part + per-subset unseen
+        # term under the *current* frontier distances.
+        relaxed_by_pool: list[np.ndarray] = []
+        pots = [NEG_INFINITY] * n
+        bound = NEG_INFINITY
+        for pool in pools:
+            if any(state.streams[j].exhausted for j in pool.others) or not pool.count:
+                relaxed_by_pool.append(np.zeros(0))
+                continue
+            unseen_term = sum(
+                scoring.w_s * scoring.score_utility(sigma_max[j])
+                - scoring.w_q * deltas[j] * deltas[j]
+                for j in pool.others
+            )
+            values = np.array(pool.seen_part) + unseen_term
+            relaxed_by_pool.append(values)
+            pool_max = float(values.max())
+            bound = max(bound, pool_max)
+            for j in pool.others:
+                pots[j] = max(pots[j], pool_max)
+
+        # Budgeted exact refinement of the globally largest relaxed values.
+        if self.budget > 0 and np.isfinite(bound):
+            candidates: list[tuple[float, int, int]] = []
+            for pi, values in enumerate(relaxed_by_pool):
+                for row in range(len(values)):
+                    candidates.append((float(values[row]), pi, row))
+            candidates.sort(key=lambda c: -c[0])
+            chosen = candidates[: self.budget]
+            by_pool: dict[int, list[int]] = {}
+            for _, pi, row in chosen:
+                by_pool.setdefault(pi, []).append(row)
+            refined_max = NEG_INFINITY
+            for pi, rows in by_pool.items():
+                pool = pools[pi]
+                m = len(pool.members)
+                scores = np.array([pool.scores[r] for r in rows]).reshape(
+                    len(rows), m
+                )
+                vecs = np.array([pool.vecs[r] for r in rows]).reshape(
+                    len(rows), m, len(state.query)
+                )
+                values, _ = solve_completion_batch(
+                    scoring, n, state.query, list(pool.members), scores, vecs,
+                    {j: deltas[j] for j in pool.others},
+                    {j: sigma_max[j] for j in pool.others},
+                )
+                self.counters.qp_solves += len(rows)
+                if len(values):
+                    refined_max = max(refined_max, float(values.max()))
+            # Relaxed values of everything outside the budget stay as-is
+            # (they are sorted, so the first unrefined one is their max).
+            unrefined_max = (
+                candidates[len(chosen)][0]
+                if len(candidates) > len(chosen)
+                else NEG_INFINITY
+            )
+            bound = max(refined_max, unrefined_max)
+
+        self._pots = pots
+        self.counters.bound_seconds += time.perf_counter() - start
+        return bound
+
+    def potentials(self, state: EngineState) -> list[float]:
+        if len(self._pots) != state.n:
+            return [0.0] * state.n
+        return list(self._pots)

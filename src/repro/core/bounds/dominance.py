@@ -1,0 +1,162 @@
+"""Dominance pruning of partial combinations (Section 3.2.2).
+
+Within one subset ``M``, every partial combination ``tau_alpha`` has an
+unconstrained completion objective ``f_alpha(y) = -(a y'y + 2 b_a'y + c_a)``
+with the *same* quadratic coefficient ``a`` for all alpha.  The region
+where alpha beats beta is therefore the half-space
+
+    2 (b_alpha - b_beta)' y  <=  c_beta - c_alpha          (eq. 16)
+
+and alpha's dominance region is the intersection over all competitors
+(eq. 17).  If that polyhedron is empty, ``t_M`` can never be realised by
+alpha, so alpha is skipped by all future bound computations — permanently,
+because new accesses only add competitors (shrinking regions further).
+
+Emptiness is a feasibility LP (eq. 35), answered here by the
+Chebyshev-centre test of :mod:`repro.optim.simplex`.  Because the LP cost
+grows with both the number of candidates and the number of constraints
+(the paper remarks that "solving the LP might be too costly"), two *sound*
+accelerations wrap it:
+
+1. **Witness pre-pass** (vectorised): if alpha beats every competitor at
+   its own unconstrained optimum ``y_alpha = -b_alpha / a``, that point
+   witnesses ``D(alpha) != {}`` — no LP needed.  Most live combinations
+   pass this test.
+2. **Capped constraint sets**: for candidates that fail the witness test,
+   the LP keeps only the strongest competitors (those with the best value
+   at ``y_alpha``).  Dropping constraints only *enlarges* the region, so
+   "empty under a subset of constraints" still proves real emptiness,
+   while "non-empty" is treated as inconclusive and the candidate is
+   conservatively kept.
+
+Both directions preserve the invariant correctness depends on: a live
+partial combination is never flagged dominated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.simplex import polyhedron_feasible_point
+
+__all__ = ["dominated_mask"]
+
+_MAX_LP_CONSTRAINTS = 64
+_WITNESS_TOL = 1e-9
+
+
+def dominated_mask(
+    bs: np.ndarray,
+    cs: np.ndarray,
+    already_dominated: np.ndarray,
+    *,
+    quad_coeff: float,
+    max_lp_constraints: int = _MAX_LP_CONSTRAINTS,
+    witnesses: np.ndarray | None = None,
+) -> tuple[np.ndarray, int]:
+    """Flag newly dominated partial combinations within one subset ``M``.
+
+    Parameters
+    ----------
+    bs:
+        Array of shape ``(u, d)`` with the ``b`` coefficient of every
+        partial combination of ``M``.
+    cs:
+        Array of shape ``(u,)`` with the ``c`` coefficients.
+    already_dominated:
+        Boolean array; those entries are excluded both as candidates and
+        as competitors (the paper's constraint-discarding speed-up —
+        removing constraints can only enlarge regions, so it never flags
+        a live combination spuriously).
+    quad_coeff:
+        The shared quadratic coefficient ``a`` of eq. (24); needed to
+        locate each candidate's unconstrained optimum for the witness
+        pre-pass.  Non-positive values disable the pre-pass (flat
+        objective: every point is an optimum).
+    max_lp_constraints:
+        Cap on competitors included in each feasibility LP.
+    witnesses:
+        Optional ``(u, d)`` array of cached non-emptiness witnesses (NaN
+        rows = unknown), **updated in place**: a stored point at which a
+        candidate beat every competitor on a previous pass is re-checked
+        against the *current* competitor field first — an exact test that
+        spares the candidate its LP while the witness stays valid.  LPs
+        that prove non-emptiness store their Chebyshev centre here.
+
+    Returns
+    -------
+    tuple[numpy.ndarray, int]
+        Boolean array marking combinations whose dominance region is
+        certainly empty (*including* those already flagged on input), and
+        the number of feasibility LPs actually solved.
+    """
+    bs = np.atleast_2d(np.asarray(bs, dtype=float))
+    cs = np.asarray(cs, dtype=float)
+    u = len(cs)
+    out = np.asarray(already_dominated, dtype=bool).copy()
+    live = np.flatnonzero(~out)
+    if len(live) < 2:
+        return out, 0
+
+    b_live = bs[live]
+    c_live = cs[live]
+    survivors = np.zeros(len(live), dtype=bool)
+
+    # g_alpha(y) = 2 b_alpha' y + c_alpha; alpha beats beta at y iff
+    # g_alpha(y) <= g_beta(y).
+
+    # Pass 0: cached witnesses.  vals_w[i, j] = g_j(w_i); candidate i
+    # survives if it still wins at its own stored witness.
+    if witnesses is not None:
+        w_live = witnesses[live]
+        cached = ~np.isnan(w_live[:, 0])
+        if cached.any():
+            vals_w = 2.0 * w_live[cached] @ b_live.T + c_live[None, :]
+            own = np.take_along_axis(
+                vals_w, np.flatnonzero(cached)[:, None], axis=1
+            )[:, 0]
+            still_valid = own <= vals_w.min(axis=1) + _WITNESS_TOL
+            survivors[np.flatnonzero(cached)[still_valid]] = True
+
+    # Pass 1: probe every candidate's unconstrained optimum
+    # y_alpha = -b_alpha / a.  Every *winner at any probed point* is
+    # certainly non-dominated, so the full value matrix yields far more
+    # witnesses than each candidate's own optimum alone.
+    vals = None
+    if quad_coeff > 0.0:
+        ys = -b_live / quad_coeff  # (u_live, d)
+        vals = 2.0 * ys @ b_live.T + c_live[None, :]  # vals[i, j] = g_j(y_i)
+        row_min = vals.min(axis=1)
+        diag_ok = np.diagonal(vals) <= row_min + _WITNESS_TOL
+        if witnesses is not None:
+            for pos in np.flatnonzero(diag_ok & ~survivors):
+                witnesses[live[pos]] = ys[pos]
+        survivors |= diag_ok
+        winners = vals <= row_min[:, None] + _WITNESS_TOL
+        win_rows = winners.argmax(axis=0)
+        new_winners = winners.any(axis=0) & ~survivors
+        if witnesses is not None:
+            for pos in np.flatnonzero(new_winners):
+                witnesses[live[pos]] = ys[win_rows[pos]]
+        survivors |= new_winners
+
+    # Pass 2: feasibility LP for the remaining candidates, against their
+    # strongest competitors.
+    lp_count = 0
+    for pos in np.flatnonzero(~survivors):
+        alpha = live[pos]
+        g_at_opt = vals[pos] if vals is not None else c_live
+        order = np.argsort(g_at_opt, kind="stable")
+        competitors = [live[q] for q in order if live[q] != alpha]
+        competitors = competitors[:max_lp_constraints]
+        if not competitors:
+            continue
+        g = 2.0 * (bs[alpha] - bs[competitors])
+        h = cs[competitors] - cs[alpha]
+        lp_count += 1
+        point = polyhedron_feasible_point(g, h)
+        if point is None:
+            out[alpha] = True
+        elif witnesses is not None:
+            witnesses[alpha] = point
+    return out, lp_count

@@ -1,0 +1,413 @@
+"""The tight bounding scheme (Section 3.2, Algorithms 2 and 3).
+
+For every proper subset ``M`` of the relations, the scheme keeps the set
+``PC(M)`` of partial combinations formable from seen tuples and, for each,
+the upper bound ``t(tau)`` on completing it with unseen tuples.  The
+global bound is ``t = max_M max_{tau in PC(M)} t(tau)`` (eq. 8–9).
+Tightness (Definition 2.2) holds because the optimiser's solution can be
+materialised as an actual continuation (Theorem 3.2), which is what buys
+instance-optimality (Theorem 3.3).
+
+Bookkeeping follows Algorithm 2 (distance access) and Algorithm 3 (score
+access), with the engineering refinements called out in DESIGN.md:
+
+* The scheme synchronises against the streams' seen prefixes, so the
+  engine may invoke it only every ``bound_period`` pulls (the paper's
+  practical-systems trade-off) and the incremental cross-product still
+  forms every new partial combination exactly once.
+* After new pulls from ``R_i``, only partial combinations *using a new
+  tuple* need fresh solves; cached solutions of subsets with ``i not in
+  M`` are revalidated in O(1): the constraint ``theta_i >= delta_i`` only
+  shrinks the feasible set, so a cached optimum that still satisfies it
+  remains optimal.
+* Subsets missing an exhausted relation are dead — no continuation can
+  complete them — and are dropped permanently (their ``t_M = -inf``).
+* Dominated partial combinations (Sec. 3.2.2) are flagged periodically
+  and skipped forever; see :mod:`repro.core.bounds.dominance`.
+* Score access keeps a single best entry per subset (Algorithm 3): the
+  paper shows relative order within ``PC(M)`` never changes under score
+  access, so everything else is immediately dominated.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import numpy as np
+
+from repro.core.access import AccessKind
+from repro.core.bounds.base import NEG_INFINITY, BoundingScheme, EngineState
+from repro.core.bounds.dominance import dominated_mask
+from repro.core.bounds.geometry import (
+    dominance_coefficients_batch,
+    score_access_completion,
+    solve_completion_batch,
+)
+from repro.core.relation import RankTuple
+from repro.core.scoring import QuadraticFormScoring
+
+__all__ = ["TightBound"]
+
+_EPS = 1e-9
+_MAX_RELATIONS = 10
+
+
+class _Entry:
+    """One partial combination in ``PC(M)`` with its cached solution.
+
+    ``scores``/``vecs`` hold the member tuples' data aligned with the
+    subset's sorted member relations (shape ``(m,)`` / ``(m, d)``).
+    """
+
+    __slots__ = (
+        "key", "scores", "vecs", "t", "theta", "dominated", "b", "c", "witness"
+    )
+
+    def __init__(self, key: tuple[int, ...], scores: np.ndarray, vecs: np.ndarray):
+        self.key = key
+        self.scores = scores
+        self.vecs = vecs
+        self.t = NEG_INFINITY
+        self.theta: np.ndarray | None = None
+        self.dominated = False
+        self.b: np.ndarray | None = None
+        self.c: float = 0.0
+        self.witness: np.ndarray | None = None
+
+    def seen_dict(self, members: tuple[int, ...]) -> dict[int, tuple[float, np.ndarray]]:
+        """Member data as the mapping the scalar geometry helpers expect."""
+        return {
+            j: (float(self.scores[r]), self.vecs[r]) for r, j in enumerate(members)
+        }
+
+
+class _SubsetState:
+    """All bookkeeping for one proper subset ``M``."""
+
+    __slots__ = ("mask", "members", "others", "entries", "dead", "t_max")
+
+    def __init__(self, mask: int, n: int):
+        self.mask = mask
+        self.members = tuple(i for i in range(n) if mask >> i & 1)
+        self.others = tuple(i for i in range(n) if not mask >> i & 1)
+        self.entries: dict[tuple[int, ...], _Entry] = {}
+        self.dead = False
+        self.t_max = NEG_INFINITY
+
+    def recompute_max(self) -> None:
+        self.t_max = max(
+            (e.t for e in self.entries.values() if not e.dominated),
+            default=NEG_INFINITY,
+        )
+
+
+class TightBound(BoundingScheme):
+    """Tight bounding scheme for either access kind.
+
+    Parameters
+    ----------
+    dominance_period:
+        Run the dominance LP pass every this many accesses under distance
+        access (Figures 3(m)/(n) sweep this).  ``None`` disables dominance
+        (the paper's "period = infinity").  Ignored under score access,
+        where Algorithm 3's best-entry rule plays the same role for free.
+    """
+
+    def __init__(self, dominance_period: int | None = None) -> None:
+        super().__init__()
+        if dominance_period is not None and dominance_period < 1:
+            raise ValueError("dominance_period must be >= 1 (or None)")
+        self.dominance_period = dominance_period
+        self._subsets: list[_SubsetState] | None = None
+        self._synced: list[int] = []
+        self._accesses = 0
+
+    @property
+    def is_tight(self) -> bool:
+        return True
+
+    # -- shared plumbing ---------------------------------------------------
+
+    def _init_subsets(self, state: EngineState) -> list[_SubsetState]:
+        if self._subsets is None:
+            n = state.n
+            if n > _MAX_RELATIONS:
+                raise ValueError(
+                    f"tight bounding enumerates 2^n subsets; n={n} exceeds "
+                    f"the supported maximum of {_MAX_RELATIONS}"
+                )
+            if not isinstance(state.scoring, QuadraticFormScoring):
+                raise TypeError(
+                    "TightBound requires a QuadraticFormScoring (paper eq. 2 "
+                    "family); other scorings need the numeric fallback of "
+                    "repro.core.bounds.numeric"
+                )
+            self._subsets = [_SubsetState(mask, n) for mask in range((1 << n) - 1)]
+            # Seed M = {} with its single "empty tuple" partial combination
+            # (Appendix B.1): it bounds combinations unseen in every slot.
+            # Its lazily-None theta forces a solve on first use.
+            d = len(state.query)
+            self._subsets[0].entries[()] = _Entry(
+                (), np.zeros(0), np.zeros((0, d))
+            )
+            self._synced = [0] * n
+        return self._subsets
+
+    def update(self, state: EngineState, i: int, tau: RankTuple) -> float:
+        start = time.perf_counter()
+        dominance_before = self.counters.dominance_seconds
+        self.counters.updates += 1
+        subsets = self._init_subsets(state)
+        new_counts = [s.depth - p for s, p in zip(state.streams, self._synced)]
+        self._accesses += sum(new_counts)
+        if state.kind is AccessKind.DISTANCE:
+            t = self._update_distance(state, subsets, new_counts)
+        else:
+            t = self._update_score(state, subsets, new_counts)
+        self._synced = [s.depth for s in state.streams]
+        # Keep the two stacked-bar shares disjoint (Figure 3(m)/(n)): the
+        # dominance pass runs inside this call but reports its own share.
+        elapsed = time.perf_counter() - start
+        dominance_delta = self.counters.dominance_seconds - dominance_before
+        self.counters.bound_seconds += elapsed - dominance_delta
+        return t
+
+    def potentials(self, state: EngineState) -> list[float]:
+        subsets = self._init_subsets(state)
+        pots = [NEG_INFINITY] * state.n
+        for sub in subsets:
+            if sub.dead:
+                continue
+            for i in sub.others:
+                if sub.t_max > pots[i]:
+                    pots[i] = sub.t_max
+        return pots
+
+    def _mark_dead_subsets(self, state: EngineState, subsets: list[_SubsetState]) -> None:
+        for sub in subsets:
+            if sub.dead:
+                continue
+            if any(state.streams[j].exhausted for j in sub.others):
+                sub.dead = True
+                sub.entries.clear()
+                sub.t_max = NEG_INFINITY
+
+    def _new_member_pools(
+        self, state: EngineState, sub: _SubsetState, new_counts: list[int]
+    ) -> "itertools.chain[tuple[RankTuple, ...]]":
+        """Iterate the partial combinations of ``M`` that use at least one
+        tuple pulled since the last sync, each exactly once.
+
+        Standard incremental cross-product: for the ``r``-th member
+        relation, combine its *new* tuples with the full current prefixes
+        of earlier members and the old prefixes of later members.
+        """
+        chunks = []
+        members = sub.members
+        for r, j in enumerate(members):
+            if new_counts[j] == 0:
+                continue
+            pools: list[list[RankTuple]] = []
+            for r2, l in enumerate(members):
+                seen = state.streams[l].seen
+                if r2 < r:
+                    pools.append(seen)
+                elif r2 == r:
+                    pools.append(seen[self._synced[l] :])
+                else:
+                    pools.append(seen[: self._synced[l]])
+            if any(not p for p in pools):
+                continue
+            chunks.append(itertools.product(*pools))
+        return itertools.chain(*chunks)
+
+    # -- distance access (Algorithm 2) ---------------------------------------
+
+    def _update_distance(
+        self,
+        state: EngineState,
+        subsets: list[_SubsetState],
+        new_counts: list[int],
+    ) -> float:
+        scoring = state.scoring
+        assert isinstance(scoring, QuadraticFormScoring)
+        n = state.n
+        deltas = [s.last_distance for s in state.streams]
+        sigma_max = [s.sigma_max for s in state.streams]
+
+        self._mark_dead_subsets(state, subsets)
+        track_dominance = self.dominance_period is not None
+
+        for sub in subsets:
+            if sub.dead:
+                continue
+            members = list(sub.members)
+            unseen_delta = {j: deltas[j] for j in sub.others}
+            unseen_sigma = {j: sigma_max[j] for j in sub.others}
+
+            # New partial combinations (subsets intersecting the new
+            # pulls), solved as one vectorised batch per subset.
+            new_entries = []
+            for chosen in self._new_member_pools(state, sub, new_counts):
+                key = tuple(t.tid for t in chosen)
+                new_entries.append(
+                    _Entry(
+                        key,
+                        np.array([t.score for t in chosen]),
+                        np.array([t.vector for t in chosen], dtype=float).reshape(
+                            len(chosen), -1
+                        ),
+                    )
+                )
+            if new_entries:
+                scores = np.array([e.scores for e in new_entries])
+                vecs = np.array([e.vecs for e in new_entries])
+                values, thetas = solve_completion_batch(
+                    scoring, n, state.query, members, scores, vecs,
+                    unseen_delta, unseen_sigma,
+                )
+                if track_dominance:
+                    bs, cs = dominance_coefficients_batch(
+                        scoring, n, state.query, scores, vecs, unseen_sigma
+                    )
+                for r, entry in enumerate(new_entries):
+                    entry.t = float(values[r])
+                    entry.theta = thetas[r]
+                    if track_dominance:
+                        entry.b = bs[r]
+                        entry.c = float(cs[r])
+                    sub.entries[entry.key] = entry
+                self.counters.qp_solves += len(new_entries)
+                self.counters.entries_created += len(new_entries)
+
+            # Revalidate cached optima where an unseen delta grew
+            # (Algorithm 2's "i not in M" branch, feasibility fast path:
+            # a cached optimum that still satisfies the new, tighter
+            # constraints remains optimal).
+            grown = [j for j in sub.others if new_counts[j] > 0]
+            if grown:
+                stale = [
+                    entry
+                    for entry in sub.entries.values()
+                    if not entry.dominated
+                    and (
+                        entry.theta is None
+                        or any(entry.theta[j] < deltas[j] - _EPS for j in grown)
+                    )
+                ]
+                if stale:
+                    scores = np.array([e.scores for e in stale])
+                    vecs = np.array([e.vecs for e in stale])
+                    values, thetas = solve_completion_batch(
+                        scoring, n, state.query, members, scores, vecs,
+                        unseen_delta, unseen_sigma,
+                    )
+                    for r, entry in enumerate(stale):
+                        entry.t = float(values[r])
+                        entry.theta = thetas[r]
+                    self.counters.qp_solves += len(stale)
+                    self.counters.entries_revalidated += len(stale)
+            sub.recompute_max()
+
+        if track_dominance and self.dominance_period is not None:
+            if self._accesses % self.dominance_period == 0:
+                self._dominance_pass(scoring, n, subsets)
+                for sub in subsets:
+                    sub.recompute_max()
+
+        return max((sub.t_max for sub in subsets if not sub.dead), default=NEG_INFINITY)
+
+    def _dominance_pass(
+        self, scoring: QuadraticFormScoring, n: int, subsets: list[_SubsetState]
+    ) -> None:
+        start = time.perf_counter()
+        for sub in subsets:
+            if sub.dead or not sub.members:
+                continue
+            entries = list(sub.entries.values())
+            live = [e for e in entries if not e.dominated]
+            if len(live) < 2:
+                continue
+            m = len(sub.members)
+            # Shared quadratic coefficient of eq. (24) for this subset.
+            quad = scoring.w_q * (n - m) + scoring.w_mu * (m / n) * (n - m)
+            bs = np.array([e.b for e in entries])
+            cs = np.array([e.c for e in entries])
+            before = np.array([e.dominated for e in entries])
+            witnesses = np.array(
+                [
+                    e.witness if e.witness is not None else np.full(bs.shape[1], np.nan)
+                    for e in entries
+                ]
+            )
+            after, lp_count = dominated_mask(
+                bs, cs, before, quad_coeff=quad, witnesses=witnesses
+            )
+            self.counters.lp_solves += lp_count
+            for idx, (entry, dom) in enumerate(zip(entries, after)):
+                if dom and not entry.dominated:
+                    entry.dominated = True
+                    self.counters.entries_dominated += 1
+                elif not dom and not np.isnan(witnesses[idx, 0]):
+                    entry.witness = witnesses[idx]
+        self.counters.dominance_seconds += time.perf_counter() - start
+
+    # -- score access (Algorithm 3) -------------------------------------------
+
+    def _update_score(
+        self,
+        state: EngineState,
+        subsets: list[_SubsetState],
+        new_counts: list[int],
+    ) -> float:
+        scoring = state.scoring
+        assert isinstance(scoring, QuadraticFormScoring)
+        n = state.n
+        last_scores = [s.last_score for s in state.streams]
+
+        self._mark_dead_subsets(state, subsets)
+
+        for sub in subsets:
+            if sub.dead:
+                continue
+            unseen_sigma = {j: last_scores[j] for j in sub.others}
+
+            # Refresh the incumbent first (an unseen last-score may have
+            # dropped), then challenge it with every new partial
+            # combination; Algorithm 3 retains only the best entry per
+            # subset.  Relative order inside PC(M) is unaffected by the
+            # refresh (Appendix C), so keeping a single incumbent is safe.
+            best: _Entry | None = next(iter(sub.entries.values()), None)
+            if best is not None and any(new_counts[j] > 0 for j in sub.others):
+                result = score_access_completion(
+                    scoring, n, state.query, best.seen_dict(sub.members), unseen_sigma
+                )
+                best.t = result.value
+                self.counters.closed_form_evals += 1
+            for chosen in self._new_member_pools(state, sub, new_counts):
+                key = tuple(t.tid for t in chosen)
+                entry = _Entry(
+                    key,
+                    np.array([t.score for t in chosen]),
+                    np.array([t.vector for t in chosen], dtype=float).reshape(
+                        len(chosen), -1
+                    ),
+                )
+                result = score_access_completion(
+                    scoring, n, state.query, entry.seen_dict(sub.members), unseen_sigma
+                )
+                entry.t = result.value
+                self.counters.closed_form_evals += 1
+                self.counters.entries_created += 1
+                if best is None or entry.t > best.t:
+                    if best is not None:
+                        self.counters.entries_dominated += 1
+                    best = entry
+                else:
+                    self.counters.entries_dominated += 1
+
+            sub.entries = {best.key: best} if best is not None else {}
+            sub.recompute_max()
+
+        return max((sub.t_max for sub in subsets if not sub.dead), default=NEG_INFINITY)

@@ -1,0 +1,96 @@
+"""The output buffer ``O`` of Algorithm 1: a bounded top-K collection.
+
+Combinations enter as they are formed; the buffer retains the best ``K``
+by aggregate score, resolving ties deterministically by the combination's
+tuple-id key (the paper requires a tie-breaking criterion for
+correctness).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from repro.core.relation import Combination
+
+__all__ = ["TopKBuffer"]
+
+
+class _Entry:
+    """Heap entry ordered so the *worst* retained combination is on top.
+
+    ``heapq`` is a min-heap; we order by (score, reversed tie-key) so the
+    root is the combination that would be evicted first.  The tie key is
+    negated element-wise so that, among equal scores, the combination with
+    the *largest* key is considered worst — i.e. smaller keys win ties.
+    """
+
+    __slots__ = ("combo", "_k")
+
+    def __init__(self, combo: Combination) -> None:
+        self.combo = combo
+        self._k = (combo.score, tuple(-t for t in combo.key))
+
+    def __lt__(self, other: "_Entry") -> bool:
+        return self._k < other._k
+
+
+class TopKBuffer:
+    """Bounded buffer retaining the top ``K`` combinations."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("K must be >= 1")
+        self.k = k
+        self._heap: list[_Entry] = []
+        self._keys: set[tuple[int, ...]] = set()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        """True once K combinations are retained."""
+        return len(self._heap) >= self.k
+
+    @property
+    def kth_score(self) -> float:
+        """Score of the K-th best combination; ``-inf`` while not full.
+
+        This is the ``min_{omega in O} S(omega)`` of Algorithm 1's
+        termination test.
+        """
+        if not self.full:
+            return float("-inf")
+        return self._heap[0].combo.score
+
+    def add(self, combo: Combination) -> bool:
+        """Offer a combination; returns True if it was retained.
+
+        Duplicate keys (same member tuples) are ignored — the ProxRJ loop
+        never forms the same combination twice, but the brute-force oracle
+        and user code may feed overlapping batches.
+        """
+        if combo.key in self._keys:
+            return False
+        entry = _Entry(combo)
+        if not self.full:
+            heapq.heappush(self._heap, entry)
+            self._keys.add(combo.key)
+            return True
+        if self._heap[0] < entry:
+            evicted = heapq.heapreplace(self._heap, entry)
+            self._keys.discard(evicted.combo.key)
+            self._keys.add(combo.key)
+            return True
+        return False
+
+    def ranked(self) -> list[Combination]:
+        """Retained combinations, best first (deterministic order)."""
+        return [
+            e.combo
+            for e in sorted(self._heap, reverse=True)
+        ]
+
+    def __iter__(self) -> Iterator[Combination]:
+        return iter(self.ranked())

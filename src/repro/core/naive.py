@@ -1,0 +1,35 @@
+"""Brute-force oracle: exact top-K over the materialised cross product.
+
+Reads *everything* (sumDepths = sum of relation sizes), scores every
+combination and returns the exact top-K.  This is the ground truth every
+correctness test compares against, and the "read-all" baseline any pull/
+bound algorithm must beat on I/O.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core.buffers import TopKBuffer
+from repro.core.relation import Combination, Relation
+from repro.core.scoring import Scoring
+
+__all__ = ["brute_force_topk"]
+
+
+def brute_force_topk(
+    relations: list[Relation],
+    scoring: Scoring,
+    query: np.ndarray,
+    k: int,
+) -> list[Combination]:
+    """Exact top-K combinations, best first (ties by tuple-id key)."""
+    if not relations:
+        raise ValueError("need at least one relation")
+    buffer = TopKBuffer(k)
+    query = np.asarray(query, dtype=float)
+    for tuples in itertools.product(*relations):
+        buffer.add(scoring.make_combination(tuples, query))
+    return buffer.ranked()

@@ -1,0 +1,77 @@
+"""Pulling strategies (the ``PS`` of the ProxRJ template, Section 3.3).
+
+``RoundRobin`` cycles through the relations; ``PotentialAdaptive`` pulls
+the relation with the highest potential ``pot_i`` — the bound on
+combinations that could still be improved by an unseen tuple of ``R_i`` —
+breaking ties in favour of the least depth, then the least index
+(Theorem 3.5's tie-breaking, required for the never-worse-than-round-robin
+guarantee).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.bounds.base import BoundingScheme, EngineState
+
+__all__ = ["PullingStrategy", "RoundRobin", "PotentialAdaptive"]
+
+
+class PullingStrategy(ABC):
+    """The ``PS`` interface of Algorithm 1."""
+
+    @abstractmethod
+    def choose_input(self, state: EngineState, bound: BoundingScheme) -> int:
+        """Index of the next relation to access.
+
+        Must return an unexhausted relation; the engine guarantees at
+        least one exists when this is called.
+        """
+
+    def reset(self) -> None:
+        """Clear any per-run state (engines call this before a run)."""
+
+
+class RoundRobin(PullingStrategy):
+    """Cycle ``R_1, ..., R_n``, skipping exhausted relations."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def choose_input(self, state: EngineState, bound: BoundingScheme) -> int:
+        n = state.n
+        for offset in range(n):
+            i = (self._next + offset) % n
+            if not state.streams[i].exhausted:
+                self._next = (i + 1) % n
+                return i
+        raise RuntimeError("all relations are exhausted")
+
+
+class PotentialAdaptive(PullingStrategy):
+    """Pull the relation with maximal potential (Section 3.3).
+
+    With the corner bound this reproduces HRJN*'s adaptive strategy (the
+    potential of ``R_i`` is the corner term ``t_i``); with the tight bound
+    the potential is ``max{t_M | i not in M}``.
+    """
+
+    def choose_input(self, state: EngineState, bound: BoundingScheme) -> int:
+        pots = bound.potentials(state)
+        best_i = -1
+        best_key: tuple[float, int, int] | None = None
+        for i, stream in enumerate(state.streams):
+            if stream.exhausted:
+                continue
+            # Maximise potential; break ties by least depth, then least
+            # index.  Encode as a sort key (higher is better).
+            key = (pots[i], -stream.depth, -i)
+            if best_key is None or key > best_key:
+                best_key = key
+                best_i = i
+        if best_i < 0:
+            raise RuntimeError("all relations are exhausted")
+        return best_i

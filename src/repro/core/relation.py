@@ -1,0 +1,168 @@
+"""Tuple and relation model.
+
+A :class:`RankTuple` is the paper's tuple ``tau``: named attributes, a
+real-valued feature vector ``x(tau)`` and a score ``sigma(tau)``.  A
+:class:`Relation` is an in-memory bag of such tuples plus the metadata the
+bounding schemes need (``sigma_max``, dimensionality).  A
+:class:`Combination` is an element of the cross product with its aggregate
+score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["RankTuple", "Relation", "Combination"]
+
+
+@dataclass(frozen=True)
+class RankTuple:
+    """One tuple of a ranked relation.
+
+    Attributes
+    ----------
+    relation:
+        Name of the owning relation (for display / provenance).
+    tid:
+        Stable identifier within the relation (its position in the base
+        data, not the access order).
+    score:
+        The tuple's score ``sigma(tau)``.
+    vector:
+        Feature vector ``x(tau)`` as a read-only numpy array.
+    attrs:
+        Optional named attributes (e.g. a restaurant's name).
+    """
+
+    relation: str
+    tid: int
+    score: float
+    vector: np.ndarray
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        vec = np.asarray(self.vector, dtype=float)
+        vec.setflags(write=False)
+        object.__setattr__(self, "vector", vec)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RankTuple):
+            return NotImplemented
+        return self.relation == other.relation and self.tid == other.tid
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.tid))
+
+    def __repr__(self) -> str:  # concise, example-friendly
+        vec = np.array2string(self.vector, precision=3, separator=",")
+        return f"RankTuple({self.relation}#{self.tid}, score={self.score:.3g}, x={vec})"
+
+
+class Relation:
+    """An in-memory relation of scored, vector-equipped tuples.
+
+    Parameters
+    ----------
+    name:
+        Relation name (must be unique within a join).
+    scores:
+        Sequence of ``N`` scores.
+    vectors:
+        Array-like of shape ``(N, d)``.
+    attrs:
+        Optional sequence of ``N`` attribute mappings.
+    sigma_max:
+        Upper bound on the score of *any* tuple of the relation, including
+        unseen ones (``sigma_i^max`` in the paper).  Defaults to the
+        maximum score present, which is correct for materialised
+        relations; services with known rating scales should pass e.g. 1.0.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        scores: Sequence[float],
+        vectors: np.ndarray,
+        *,
+        attrs: Sequence[Mapping[str, Any]] | None = None,
+        sigma_max: float | None = None,
+    ) -> None:
+        vecs = np.atleast_2d(np.asarray(vectors, dtype=float))
+        if len(scores) != len(vecs):
+            raise ValueError(
+                f"relation {name!r}: {len(scores)} scores but {len(vecs)} vectors"
+            )
+        if attrs is not None and len(attrs) != len(vecs):
+            raise ValueError(
+                f"relation {name!r}: {len(attrs)} attrs but {len(vecs)} vectors"
+            )
+        if len(vecs) == 0:
+            raise ValueError(f"relation {name!r} must contain at least one tuple")
+        self.name = name
+        self._tuples = [
+            RankTuple(
+                relation=name,
+                tid=i,
+                score=float(scores[i]),
+                vector=vecs[i],
+                attrs=dict(attrs[i]) if attrs is not None else {},
+            )
+            for i in range(len(vecs))
+        ]
+        observed_max = max(t.score for t in self._tuples)
+        if sigma_max is not None and sigma_max < observed_max - 1e-12:
+            raise ValueError(
+                f"relation {name!r}: sigma_max={sigma_max} below observed "
+                f"maximum score {observed_max}"
+            )
+        self.sigma_max = float(sigma_max) if sigma_max is not None else observed_max
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality ``d`` of the feature space."""
+        return int(self._tuples[0].vector.shape[0])
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[RankTuple]:
+        return iter(self._tuples)
+
+    def __getitem__(self, i: int) -> RankTuple:
+        return self._tuples[i]
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, n={len(self)}, d={self.dim})"
+
+    @classmethod
+    def from_tuples(
+        cls,
+        name: str,
+        rows: Sequence[tuple[float, Sequence[float]]],
+        *,
+        sigma_max: float | None = None,
+    ) -> "Relation":
+        """Build a relation from ``(score, vector)`` pairs."""
+        scores = [r[0] for r in rows]
+        vectors = np.array([r[1] for r in rows], dtype=float)
+        return cls(name, scores, vectors, sigma_max=sigma_max)
+
+
+@dataclass(frozen=True)
+class Combination:
+    """A join result: one tuple per relation plus the aggregate score."""
+
+    tuples: tuple[RankTuple, ...]
+    score: float
+
+    @property
+    def key(self) -> tuple[int, ...]:
+        """Deterministic identity: the per-relation tuple ids."""
+        return tuple(t.tid for t in self.tuples)
+
+    def __repr__(self) -> str:
+        members = " x ".join(f"{t.relation}#{t.tid}" for t in self.tuples)
+        return f"Combination({members}, S={self.score:.4g})"

@@ -1,0 +1,253 @@
+"""The ProxRJ template (Algorithm 1) and its run instrumentation.
+
+The engine pulls tuples one at a time from the access streams, forms every
+new combination the pull enables (line 6 of Algorithm 1: a cross product
+against the seen prefixes of the other relations), keeps the best ``K`` in
+the output buffer, and stops as soon as the buffer is full *and* its K-th
+score is at least the bounding scheme's upper bound on unseen
+combinations.
+
+Correctness requires only that the bound is a correct upper bound and the
+strategy returns unexhausted relations; optimality additionally needs a
+tight bound (Theorems 3.2/3.3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.access import AccessKind, open_streams
+from repro.core.batchscore import QuadraticBatchScorer
+from repro.core.bounds.base import INFINITY, BoundingScheme, EngineState
+from repro.core.buffers import TopKBuffer
+from repro.core.pulling import PullingStrategy
+from repro.core.relation import Combination, Relation
+from repro.core.scoring import QuadraticFormScoring, Scoring
+
+__all__ = ["ProxRJ", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one ProxRJ run.
+
+    Attributes
+    ----------
+    combinations:
+        The top-K combinations, best first.
+    depths:
+        Tuples pulled per relation (``depth(A, I, i)``).
+    bound:
+        Final value of the upper bound when the loop stopped.
+    total_seconds:
+        Wall-clock CPU time of the run (excludes data generation, as in
+        the paper, which excludes tuple-fetch time).
+    bound_seconds / dominance_seconds:
+        Shares of ``total_seconds`` spent in updateBound and in the
+        dominance test (the lighter stacked bars of Figure 3).
+    combinations_formed:
+        How many candidate combinations were materialised and scored (the
+        dominant CPU cost of corner-bound algorithms at high depth).
+    counters:
+        Raw bounding-scheme counters (QP/LP solve counts etc.).
+    completed:
+        False when the run was cut off by ``max_pulls`` before the
+        stopping condition held; the reported top-K is then only the best
+        of what was read (used to reproduce the paper's "CBPA did not
+        finish within five minutes" n=4 data point).
+    """
+
+    combinations: list[Combination]
+    depths: list[int]
+    bound: float
+    total_seconds: float
+    bound_seconds: float
+    dominance_seconds: float
+    combinations_formed: int
+    counters: dict[str, float] = field(default_factory=dict)
+    completed: bool = True
+
+    @property
+    def sum_depths(self) -> int:
+        """The paper's primary I/O cost metric."""
+        return int(sum(self.depths))
+
+
+class ProxRJ:
+    """Algorithm 1, parameterised by bounding scheme and pulling strategy.
+
+    Parameters
+    ----------
+    relations:
+        The ``n`` input relations.
+    scoring:
+        Aggregation function (Section 2).
+    kind:
+        Access kind: distance-based or score-based.
+    query:
+        The query vector ``q``.  Required for both access kinds (the
+        aggregation function depends on it even under score access).
+    bound / pull:
+        The ``BS`` and ``PS`` of the template.
+    k:
+        Number of results.
+    bound_period:
+        Recompute the bound only every this many pulls (>= 1).  A stale
+        bound is still a *correct* (if looser) upper bound — bounds only
+        decrease as accesses accumulate — so correctness is preserved;
+        the paper suggests this as the practical-systems trade-off.
+    use_index:
+        Serve distance-based access through the k-d tree instead of
+        pre-sorting.
+    stream_factory:
+        Optional callable returning one access stream per relation (e.g.
+        :func:`repro.service.make_service_streams` partial); overrides
+        the default local streams.  Streams must match ``kind``.
+    """
+
+    def __init__(
+        self,
+        relations: list[Relation],
+        scoring: Scoring,
+        *,
+        kind: AccessKind,
+        query: np.ndarray,
+        bound: BoundingScheme,
+        pull: PullingStrategy,
+        k: int,
+        bound_period: int = 1,
+        use_index: bool = False,
+        stream_factory=None,
+        max_pulls: int | None = None,
+    ) -> None:
+        if not relations:
+            raise ValueError("need at least one relation")
+        if k < 1:
+            raise ValueError("K must be >= 1")
+        if bound_period < 1:
+            raise ValueError("bound_period must be >= 1")
+        if max_pulls is not None and max_pulls < 1:
+            raise ValueError("max_pulls must be >= 1 (or None)")
+        dims = {r.dim for r in relations}
+        if len(dims) != 1:
+            raise ValueError(f"relations disagree on dimensionality: {sorted(dims)}")
+        names = [r.name for r in relations]
+        if len(set(names)) != len(names):
+            raise ValueError(f"relation names must be unique, got {names}")
+        self.relations = relations
+        self.scoring = scoring
+        self.kind = kind
+        self.query = np.asarray(query, dtype=float)
+        self.bound = bound
+        self.pull = pull
+        self.k = k
+        self.bound_period = bound_period
+        self.use_index = use_index
+        self.stream_factory = stream_factory
+        self.max_pulls = max_pulls
+
+    def run(self) -> RunResult:
+        """Execute Algorithm 1 and return the instrumented result."""
+        start = time.perf_counter()
+        if self.stream_factory is not None:
+            streams = self.stream_factory()
+            if len(streams) != len(self.relations):
+                raise ValueError(
+                    f"stream_factory returned {len(streams)} streams for "
+                    f"{len(self.relations)} relations"
+                )
+        else:
+            streams = open_streams(
+                self.relations, self.kind, self.query, use_index=self.use_index
+            )
+        state = EngineState(
+            scoring=self.scoring,
+            kind=self.kind,
+            query=self.query,
+            streams=streams,
+            k=self.k,
+            output=TopKBuffer(self.k),
+        )
+        self.pull.reset()
+        batch_scorer = (
+            QuadraticBatchScorer(self.scoring, self.query)
+            if isinstance(self.scoring, QuadraticFormScoring)
+            else None
+        )
+        t = INFINITY
+        pulls = 0
+        combos_formed = 0
+        completed = True
+
+        while len(state.output) < self.k or state.output.kth_score < t:
+            if all(s.exhausted for s in streams):
+                break  # the cross product is fully enumerated
+            if self.max_pulls is not None and pulls >= self.max_pulls:
+                completed = False
+                break
+            i = self.pull.choose_input(state, self.bound)
+            tau = streams[i].next()
+            if tau is None:  # pragma: no cover - strategies skip exhausted
+                continue
+            pulls += 1
+
+            # Line 6-7: form combinations P_1 x ... x {tau} x ... x P_n.
+            pools = [
+                [tau] if j == i else streams[j].seen for j in range(state.n)
+            ]
+            if batch_scorer is not None:
+                combos_formed += batch_scorer.add_cross_product(pools, state.output)
+            else:
+                combos_formed += self._form_combinations(state, pools)
+
+            # Line 9: refresh the bound.  With bound_period > 1 the stale t
+            # is reused between refreshes — bounds only decrease as
+            # accesses accumulate, so a stale t is a correct (looser)
+            # upper bound; schemes synchronise against the streams, so
+            # skipped pulls are absorbed by the next update.
+            if pulls % self.bound_period == 0 or all(s.exhausted for s in streams):
+                t = self.bound.update(state, i, tau)
+
+        total = time.perf_counter() - start
+        counters = self.bound.counters
+        return RunResult(
+            combinations=state.output.ranked(),
+            depths=state.depths(),
+            bound=t,
+            total_seconds=total,
+            bound_seconds=counters.bound_seconds,
+            dominance_seconds=counters.dominance_seconds,
+            combinations_formed=combos_formed,
+            counters=counters.as_dict(),
+            completed=completed,
+        )
+
+    def _form_combinations(self, state: EngineState, pools: list[list]) -> int:
+        """Materialise and score the cross product of ``pools``."""
+        if any(not pool for pool in pools):
+            return 0
+        scoring = self.scoring
+        query = self.query
+        output = state.output
+        count = 0
+        # Iterative odometer over the pools (cheaper than itertools.product
+        # plus per-item function calls for the hot n=2/3 cases).
+        idx = [0] * len(pools)
+        sizes = [len(p) for p in pools]
+        while True:
+            tuples = tuple(pools[j][idx[j]] for j in range(len(pools)))
+            output.add(scoring.make_combination(tuples, query))
+            count += 1
+            j = len(pools) - 1
+            while j >= 0:
+                idx[j] += 1
+                if idx[j] < sizes[j]:
+                    break
+                idx[j] = 0
+                j -= 1
+            if j < 0:
+                break
+        return count

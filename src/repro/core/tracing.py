@@ -1,0 +1,141 @@
+"""Execution tracing: explain *why* a ProxRJ run stopped when it did.
+
+Wraps a bounding scheme and records, after every pull: which relation was
+accessed, the depths, the bound value, the current K-th score and the
+output size.  The trace answers the questions that come up when studying
+the operator — "when did the bound cross the K-th score?", "which
+relation was the strategy favouring?", "how long was the tail where no
+result changed?" — and renders as a compact text timeline.
+
+Usage::
+
+    bound = TraceBound(TightBound())
+    engine = ProxRJ(..., bound=bound, ...)
+    result = engine.run()
+    print(bound.trace.render())
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+from repro.core.bounds.base import BoundingScheme, EngineState
+from repro.core.relation import RankTuple
+
+__all__ = ["PullEvent", "RunTrace", "TraceBound"]
+
+
+@dataclass(frozen=True)
+class PullEvent:
+    """One pull and the state right after its bound update."""
+
+    step: int
+    relation: int
+    depths: tuple[int, ...]
+    bound: float
+    kth_score: float
+    results_held: int
+
+    @property
+    def certified(self) -> bool:
+        """Whether the stopping condition held at this point."""
+        return self.kth_score >= self.bound
+
+
+@dataclass
+class RunTrace:
+    """Ordered pull events of one run."""
+
+    events: list[PullEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def stop_step(self) -> int | None:
+        """First step at which the run could have stopped (1-based)."""
+        for event in self.events:
+            if event.certified:
+                return event.step
+        return None
+
+    def pulls_per_relation(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for event in self.events:
+            counts[event.relation] = counts.get(event.relation, 0) + 1
+        return counts
+
+    def bound_series(self) -> list[float]:
+        return [e.bound for e in self.events]
+
+    def kth_series(self) -> list[float]:
+        return [e.kth_score for e in self.events]
+
+    def render(self, *, every: int = 1) -> str:
+        """Text timeline; ``every`` thins long traces."""
+        out = io.StringIO()
+        out.write(
+            f"{'step':>5} {'rel':>4} {'depths':>14} {'bound':>10} "
+            f"{'kth':>10} {'held':>5}\n"
+        )
+        for event in self.events:
+            if (event.step - 1) % every and not event.certified:
+                continue
+            depths = ",".join(str(d) for d in event.depths)
+            marker = "  <- certified" if event.certified else ""
+            out.write(
+                f"{event.step:>5} {event.relation:>4} {depths:>14} "
+                f"{event.bound:>10.3f} {event.kth_score:>10.3f} "
+                f"{event.results_held:>5}{marker}\n"
+            )
+        stop = self.stop_step
+        if stop is not None:
+            out.write(f"stopping condition first held at pull {stop}\n")
+        return out.getvalue()
+
+
+class TraceBound(BoundingScheme):
+    """Decorator bounding scheme that records a :class:`RunTrace`.
+
+    Transparent: delegates ``update``/``potentials`` (and the counters)
+    to the wrapped scheme, so algorithms behave identically with or
+    without tracing.
+    """
+
+    def __init__(self, inner: BoundingScheme) -> None:
+        super().__init__()
+        self.inner = inner
+        self.trace = RunTrace()
+
+    @property
+    def is_tight(self) -> bool:
+        return self.inner.is_tight
+
+    @property
+    def counters(self):  # type: ignore[override]
+        return self.inner.counters
+
+    @counters.setter
+    def counters(self, value) -> None:
+        # BoundingScheme.__init__ assigns; forward onto the inner scheme
+        # only if it exists yet (during our own construction it does not).
+        if hasattr(self, "inner"):
+            self.inner.counters = value
+
+    def update(self, state: EngineState, i: int, tau: RankTuple) -> float:
+        t = self.inner.update(state, i, tau)
+        self.trace.events.append(
+            PullEvent(
+                step=len(self.trace.events) + 1,
+                relation=i,
+                depths=tuple(state.depths()),
+                bound=t,
+                kth_score=state.output.kth_score,
+                results_held=len(state.output),
+            )
+        )
+        return t
+
+    def potentials(self, state: EngineState) -> list[float]:
+        return self.inner.potentials(state)

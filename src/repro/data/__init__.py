@@ -1,0 +1,34 @@
+"""Data substrate: the Appendix D.1 synthetic generator, the Appendix
+D.2 city POI datasets (deterministic substitute for the YQL crawls),
+adversarial workload generators and dataset persistence."""
+
+from repro.data.cities import CITIES, CityLayout, city_names, city_problem
+from repro.data.generators import (
+    anticorrelated_problem,
+    clustered_problem,
+    correlated_problem,
+)
+from repro.data.io import (
+    load_problem_npz,
+    load_relation_csv,
+    save_problem_npz,
+    save_relation_csv,
+)
+from repro.data.synthetic import SyntheticConfig, generate_problem, generate_relation
+
+__all__ = [
+    "CITIES",
+    "CityLayout",
+    "city_names",
+    "city_problem",
+    "anticorrelated_problem",
+    "clustered_problem",
+    "correlated_problem",
+    "load_problem_npz",
+    "load_relation_csv",
+    "save_problem_npz",
+    "save_relation_csv",
+    "SyntheticConfig",
+    "generate_problem",
+    "generate_relation",
+]

@@ -1,0 +1,186 @@
+"""City POI datasets (the Appendix D.2 substitute).
+
+The paper fed its real-data experiment with hotels, restaurants and
+theaters crawled through the YQL console from Yahoo! Local for five US
+cities, querying from a landmark in each.  That service was shut down
+years ago and this environment is offline, so we substitute a
+deterministic synthetic generator that preserves what the experiment
+actually exercises:
+
+* ``d = 2`` geographic feature vectors (kilometres east/north of the city
+  centre — a local tangent-plane projection of lat/lon, which is what any
+  distance-based service effectively serves);
+* three relations of different *types* with realistic, different sizes
+  and densities (restaurants outnumber theaters roughly 10:1);
+* clustered, non-uniform geometry: each POI type concentrates around a
+  handful of districts (downtown, waterfront, ...), with type-dependent
+  spread — the skewed-density regime where the adaptive pulling strategy
+  shines in the paper's Figure 3(i);
+* bounded ratings in (0, 1] used as scores (customer ratings in the
+  paper), denser near the top of the scale as real rating data is.
+
+City layouts (district centres, counts, seeds) are fixed constants, so
+"San Francisco" is the same dataset in every run — like a crawl snapshot
+checked into a repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.relation import Relation
+
+__all__ = ["CITIES", "CityLayout", "city_problem", "city_names"]
+
+_TYPES = ("hotels", "restaurants", "theaters")
+
+
+@dataclass(frozen=True)
+class CityLayout:
+    """Deterministic description of one city's POI geography.
+
+    ``districts`` are (east_km, north_km, spread_km, weight) clusters;
+    ``counts`` are the number of POIs per type; ``landmark`` is the query
+    point (e.g. Fisherman's Wharf for San Francisco).
+    """
+
+    name: str
+    code: str
+    districts: tuple[tuple[float, float, float, float], ...]
+    counts: dict[str, int]
+    landmark: tuple[float, float]
+    seed: int
+
+
+CITIES: dict[str, CityLayout] = {
+    "SF": CityLayout(
+        name="San Francisco",
+        code="SF",
+        districts=(
+            (0.0, 0.0, 1.2, 0.4),     # Union Square / downtown
+            (-1.5, 2.5, 0.9, 0.3),    # Fisherman's Wharf / North Beach
+            (2.5, -1.0, 1.5, 0.2),    # Mission
+            (-3.0, -0.5, 1.8, 0.1),   # Sunset
+        ),
+        counts={"hotels": 120, "restaurants": 600, "theaters": 45},
+        landmark=(-1.6, 2.7),  # Fisherman's Wharf
+        seed=101,
+    ),
+    "NY": CityLayout(
+        name="New York",
+        code="NY",
+        districts=(
+            (0.0, 0.0, 1.0, 0.35),    # Midtown
+            (0.5, -4.0, 1.2, 0.35),   # Downtown / Battery
+            (-1.0, 3.5, 1.5, 0.2),    # Upper West Side
+            (3.0, -2.0, 2.0, 0.1),    # Brooklyn fringe
+        ),
+        counts={"hotels": 220, "restaurants": 900, "theaters": 80},
+        landmark=(0.4, -4.2),  # Battery Park
+        seed=102,
+    ),
+    "BO": CityLayout(
+        name="Boston",
+        code="BO",
+        districts=(
+            (0.0, 0.0, 0.8, 0.5),     # Downtown / Faneuil Hall
+            (-1.2, 0.8, 0.7, 0.3),    # Back Bay
+            (1.5, 1.5, 1.2, 0.2),     # Cambridge side
+        ),
+        counts={"hotels": 90, "restaurants": 420, "theaters": 30},
+        landmark=(0.1, 0.2),  # Faneuil Hall
+        seed=103,
+    ),
+    "DA": CityLayout(
+        name="Dallas",
+        code="DA",
+        districts=(
+            (0.0, 0.0, 1.5, 0.4),     # Downtown
+            (2.0, 3.0, 2.0, 0.3),     # Uptown sprawl
+            (-4.0, 1.0, 2.5, 0.3),    # West
+        ),
+        counts={"hotels": 110, "restaurants": 380, "theaters": 25},
+        landmark=(0.3, -0.2),  # Dealey Plaza
+        seed=104,
+    ),
+    "HO": CityLayout(
+        name="Honolulu",
+        code="HO",
+        districts=(
+            (0.0, 0.0, 0.7, 0.6),     # Waikiki
+            (-2.5, 0.5, 1.0, 0.3),    # Downtown
+            (2.0, 1.0, 1.5, 0.1),     # Diamond Head side
+        ),
+        counts={"hotels": 140, "restaurants": 320, "theaters": 15},
+        landmark=(0.0, 0.1),  # Waikiki Beach
+        seed=105,
+    ),
+}
+
+# Per-type geometry adjustments: hotels hug the districts, restaurants
+# spill wider, theaters are few and central.
+_TYPE_SPREAD = {"hotels": 0.8, "restaurants": 1.3, "theaters": 0.6}
+_TYPE_NAMES = {
+    "hotels": ("Grand", "Plaza", "Harbor", "Park", "Royal", "Bay"),
+    "restaurants": ("Trattoria", "Bistro", "Diner", "Sushi", "Grill", "Cantina"),
+    "theaters": ("Odeon", "Rialto", "Majestic", "Orpheum", "Lyric", "Cine"),
+}
+
+
+def city_names() -> list[str]:
+    """City codes in the paper's display order (Figure 3(i)/(l))."""
+    return ["SF", "NY", "BO", "DA", "HO"]
+
+
+def _sample_ratings(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Ratings in (0, 1], skewed towards the top like real review data
+    (a Beta(5, 2) shape, floored away from 0 to keep ln finite)."""
+    raw = rng.beta(5.0, 2.0, size=n)
+    return np.clip(raw, 0.05, 1.0)
+
+
+def _sample_positions(
+    rng: np.random.Generator, layout: CityLayout, n: int, spread_factor: float
+) -> np.ndarray:
+    weights = np.array([d[3] for d in layout.districts], dtype=float)
+    weights = weights / weights.sum()
+    choices = rng.choice(len(layout.districts), size=n, p=weights)
+    out = np.zeros((n, 2))
+    for idx, (cx, cy, sd, _) in enumerate(layout.districts):
+        mask = choices == idx
+        count = int(mask.sum())
+        if count:
+            out[mask] = rng.normal(
+                loc=(cx, cy), scale=sd * spread_factor, size=(count, 2)
+            )
+    return out
+
+
+def city_problem(code: str) -> tuple[list[Relation], np.ndarray]:
+    """Hotels/restaurants/theaters relations and the landmark query.
+
+    Raises ``KeyError`` for unknown city codes; see :func:`city_names`.
+    """
+    try:
+        layout = CITIES[code.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown city {code!r}; known cities: {city_names()}"
+        ) from None
+    rng = np.random.default_rng(layout.seed)
+    relations = []
+    for poi_type in _TYPES:
+        n = layout.counts[poi_type]
+        positions = _sample_positions(rng, layout, n, _TYPE_SPREAD[poi_type])
+        ratings = _sample_ratings(rng, n)
+        names = _TYPE_NAMES[poi_type]
+        attrs = [
+            {"name": f"{names[i % len(names)]} {layout.code}-{i:03d}", "type": poi_type}
+            for i in range(n)
+        ]
+        relations.append(
+            Relation(poi_type, ratings, positions, attrs=attrs, sigma_max=1.0)
+        )
+    return relations, np.array(layout.landmark, dtype=float)

@@ -1,0 +1,117 @@
+"""Additional workload generators beyond Appendix D.1.
+
+The paper's synthetic study samples feature vectors uniformly and scores
+independently.  Real services violate both assumptions, and the relative
+behaviour of the bounding schemes shifts when they do.  These generators
+produce the standard adversarial workloads of the top-k literature so
+the ablation experiments (EXPERIMENTS.md, "beyond the paper") can probe
+them:
+
+* :func:`clustered_problem` — Gaussian-mixture geometry: tuples clump,
+  so centroid distances within a cluster are tiny and across clusters
+  huge; the corner bound's zero-centroid assumption is at its worst.
+* :func:`correlated_problem` — score correlated with distance from the
+  query (the good stuff is nearby); both access orders agree, making
+  every algorithm cheap.
+* :func:`anticorrelated_problem` — score *anti*-correlated with distance
+  (the good stuff is far away): distance access keeps surfacing
+  low-score tuples, the classic hard regime for threshold algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.relation import Relation
+
+__all__ = [
+    "clustered_problem",
+    "correlated_problem",
+    "anticorrelated_problem",
+]
+
+_SCORE_FLOOR = 0.05
+
+
+def _finish_scores(raw: np.ndarray) -> np.ndarray:
+    return np.clip(raw, _SCORE_FLOOR, 1.0)
+
+
+def clustered_problem(
+    *,
+    n_relations: int = 2,
+    dims: int = 2,
+    n_tuples: int = 300,
+    n_clusters: int = 5,
+    cluster_spread: float = 0.15,
+    region: float = 4.0,
+    seed: int = 0,
+) -> tuple[list[Relation], np.ndarray]:
+    """Gaussian-mixture geometry shared across relations.
+
+    All relations draw from the *same* cluster centres (as co-located
+    POI types do), so high-scoring combinations exist inside clusters
+    and the mutual-proximity term dominates the ranking.
+    """
+    rng = np.random.default_rng(seed)
+    centres = rng.uniform(-region / 2, region / 2, size=(n_clusters, dims))
+    relations = []
+    for i in range(n_relations):
+        assignment = rng.integers(0, n_clusters, size=n_tuples)
+        vectors = centres[assignment] + rng.normal(
+            scale=cluster_spread, size=(n_tuples, dims)
+        )
+        scores = _finish_scores(rng.uniform(0.0, 1.0, n_tuples))
+        relations.append(Relation(f"R{i+1}", scores, vectors, sigma_max=1.0))
+    return relations, np.zeros(dims)
+
+
+def correlated_problem(
+    *,
+    n_relations: int = 2,
+    dims: int = 2,
+    n_tuples: int = 300,
+    region: float = 4.0,
+    noise: float = 0.1,
+    seed: int = 0,
+) -> tuple[list[Relation], np.ndarray]:
+    """Scores decay with distance from the query (correlated regime)."""
+    rng = np.random.default_rng(seed)
+    half_diag = region / 2 * np.sqrt(dims)
+    relations = []
+    for i in range(n_relations):
+        vectors = rng.uniform(-region / 2, region / 2, size=(n_tuples, dims))
+        dist = np.linalg.norm(vectors, axis=1)
+        scores = _finish_scores(
+            1.0 - dist / half_diag + rng.normal(scale=noise, size=n_tuples)
+        )
+        relations.append(Relation(f"R{i+1}", scores, vectors, sigma_max=1.0))
+    return relations, np.zeros(dims)
+
+
+def anticorrelated_problem(
+    *,
+    n_relations: int = 2,
+    dims: int = 2,
+    n_tuples: int = 300,
+    region: float = 4.0,
+    noise: float = 0.1,
+    seed: int = 0,
+) -> tuple[list[Relation], np.ndarray]:
+    """Scores *grow* with distance from the query (adversarial regime).
+
+    Distance-based access yields poor scores first and score-based access
+    yields far-away tuples first, so no prefix is good on both axes —
+    the regime where a tight bound pays off most.
+    """
+    rng = np.random.default_rng(seed)
+    half_diag = region / 2 * np.sqrt(dims)
+    relations = []
+    for i in range(n_relations):
+        vectors = rng.uniform(-region / 2, region / 2, size=(n_tuples, dims))
+        dist = np.linalg.norm(vectors, axis=1)
+        scores = _finish_scores(
+            dist / half_diag + rng.normal(scale=noise, size=n_tuples)
+        )
+        relations.append(Relation(f"R{i+1}", scores, vectors, sigma_max=1.0))
+    return relations, np.zeros(dims)

@@ -1,0 +1,23 @@
+"""Experiment harness: parameter sweeps, per-figure definitions and text/
+CSV reporting for every table and figure of the paper's Section 4."""
+
+from repro.experiments.config import DEFAULTS, TESTED, ExperimentSettings
+from repro.experiments.figures import FIGURES, figure_cells
+from repro.experiments.harness import CellResult, Measurement, run_cell, run_synthetic_cell
+from repro.experiments.report import render_bars, render_table, summarise_gain, write_csv
+
+__all__ = [
+    "DEFAULTS",
+    "TESTED",
+    "ExperimentSettings",
+    "FIGURES",
+    "figure_cells",
+    "CellResult",
+    "Measurement",
+    "run_cell",
+    "run_synthetic_cell",
+    "render_bars",
+    "render_table",
+    "summarise_gain",
+    "write_csv",
+]

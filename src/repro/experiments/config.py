@@ -1,0 +1,69 @@
+"""Operating parameters of the experimental study (Table 2).
+
+Defaults are the bold entries; ``TESTED`` holds the sweep values of each
+figure.  ``ExperimentSettings`` collects the harness-level knobs that the
+paper fixes implicitly (number of averaged datasets, relation depth,
+aggregation weights).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DEFAULTS", "TESTED", "ExperimentSettings"]
+
+#: Table 2 defaults (bold entries).
+DEFAULTS = {
+    "k": 10,
+    "dims": 2,
+    "density": 50.0,
+    "skew": 1.0,
+    "n_relations": 2,
+}
+
+#: Table 2 tested values.
+TESTED = {
+    "k": (1, 10, 50),
+    "dims": (1, 2, 4, 8, 16),
+    "density": (20.0, 50.0, 100.0, 200.0),
+    "skew": (1.0, 2.0, 4.0, 8.0),
+    "n_relations": (2, 3, 4),
+    "dominance_period": (1, 2, 4, 8, 12, 16, None),  # None = infinity
+}
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Harness-level configuration shared by all figures.
+
+    Attributes
+    ----------
+    seeds:
+        Number of independently generated datasets to average over (the
+        paper uses ten).
+    n_tuples:
+        Relation depth of the synthetic generator — large enough that no
+        run exhausts a relation, irrelevant otherwise (Appendix D.1 notes
+        the data-set size is not an operating parameter).
+    w_s, w_q, w_mu:
+        Aggregation-function weights (paper examples use 1, 1, 1).
+    max_pulls:
+        Per-run safety cap reproducing the paper's five-minute timeout
+        for CBPA at n = 4; ``None`` disables.
+    algorithms:
+        Which of CBRR/CBPA/TBRR/TBPA to run.
+    """
+
+    seeds: int = 10
+    n_tuples: int = 400
+    w_s: float = 1.0
+    w_q: float = 1.0
+    w_mu: float = 1.0
+    max_pulls: int | None = None
+    algorithms: tuple[str, ...] = ("CBRR", "CBPA", "TBRR", "TBPA")
+
+    def __post_init__(self) -> None:
+        if self.seeds < 1:
+            raise ValueError("seeds must be >= 1")
+        if self.n_tuples < 1:
+            raise ValueError("n_tuples must be >= 1")

@@ -1,0 +1,117 @@
+"""Sampling-based depth estimation (cf. Schnaitter et al., VLDB 2007).
+
+The paper's related work motivates *depth estimation* — predicting how
+many tuples a rank join will pull — as the input a query optimiser needs
+to cost a plan.  This module provides the standard sampling-based
+estimator for proximity rank join: run the operator on a few cheap
+calibration points, fit a log-log linear (power-law) model
+
+    sumDepths  ~=  a * K^b1 * rho^b2 * n^b3 ...
+
+and predict unseen parameter points.  Power laws are the right family
+here: the paper observes sublinear growth in K and polynomial growth in
+density, which are straight lines in log-log space.
+
+Usage::
+
+    model = DepthModel(features=("k", "density"))
+    model.fit(observations)          # [(params dict, sumDepths), ...]
+    model.predict({"k": 20, "density": 80.0})
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DepthModel", "calibration_observations"]
+
+
+@dataclass
+class DepthModel:
+    """Log-log linear regression over named positive features."""
+
+    features: tuple[str, ...]
+    coef_: np.ndarray | None = field(default=None, repr=False)
+    intercept_: float = 0.0
+    residual_: float = 0.0
+
+    def _design(self, params_list: list[dict]) -> np.ndarray:
+        rows = []
+        for params in params_list:
+            row = []
+            for f in self.features:
+                value = float(params[f])
+                if value <= 0:
+                    raise ValueError(f"feature {f!r} must be positive, got {value}")
+                row.append(np.log(value))
+            rows.append(row)
+        return np.array(rows, dtype=float)
+
+    def fit(self, observations: list[tuple[dict, float]]) -> "DepthModel":
+        """Fit on ``(params, sum_depths)`` pairs; returns self."""
+        if len(observations) < len(self.features) + 1:
+            raise ValueError(
+                f"need at least {len(self.features) + 1} observations to fit "
+                f"{len(self.features)} exponents plus an intercept"
+            )
+        params_list = [p for p, _ in observations]
+        depths = np.array([float(d) for _, d in observations])
+        if (depths <= 0).any():
+            raise ValueError("sumDepths observations must be positive")
+        x = self._design(params_list)
+        x1 = np.hstack([x, np.ones((len(x), 1))])
+        y = np.log(depths)
+        sol, *_ = np.linalg.lstsq(x1, y, rcond=None)
+        self.coef_ = sol[:-1]
+        self.intercept_ = float(sol[-1])
+        self.residual_ = float(np.sqrt(np.mean((x1 @ sol - y) ** 2)))
+        return self
+
+    def predict(self, params: dict) -> float:
+        """Predicted sumDepths at ``params`` (must contain all features)."""
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        x = self._design([params])[0]
+        return float(np.exp(x @ self.coef_ + self.intercept_))
+
+    def exponent(self, feature: str) -> float:
+        """Fitted power-law exponent of one feature."""
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        return float(self.coef_[self.features.index(feature)])
+
+
+def calibration_observations(
+    *,
+    algorithm: str = "TBPA",
+    ks: tuple[int, ...] = (1, 5, 20),
+    densities: tuple[float, ...] = (20.0, 50.0),
+    seeds: int = 2,
+    n_tuples: int = 300,
+) -> list[tuple[dict, float]]:
+    """Cheap calibration runs over a small (K, density) grid.
+
+    Returns ``(params, mean sumDepths)`` observations ready for
+    :meth:`DepthModel.fit`.
+    """
+    from repro.core import AccessKind, EuclideanLogScoring, make_algorithm
+    from repro.data import SyntheticConfig, generate_problem
+
+    scoring = EuclideanLogScoring()
+    observations = []
+    for k in ks:
+        for rho in densities:
+            depths = []
+            for seed in range(seeds):
+                relations, query = generate_problem(
+                    SyntheticConfig(density=rho, n_tuples=n_tuples, seed=seed)
+                )
+                result = make_algorithm(
+                    algorithm, relations, scoring, query, k,
+                    kind=AccessKind.DISTANCE,
+                ).run()
+                depths.append(result.sum_depths)
+            observations.append(({"k": k, "density": rho}, float(np.mean(depths))))
+    return observations

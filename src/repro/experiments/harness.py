@@ -1,0 +1,152 @@
+"""Experiment harness: run algorithm grids over generated datasets and
+aggregate the paper's metrics (sumDepths, total CPU time, bound share,
+dominance share), averaged over seeds as in Section 4.1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.core import AccessKind, EuclideanLogScoring, make_algorithm
+from repro.core.relation import Relation
+from repro.data.synthetic import SyntheticConfig, generate_problem
+from repro.experiments.config import ExperimentSettings
+
+__all__ = ["Measurement", "CellResult", "run_cell", "run_synthetic_cell"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One (algorithm, dataset) run reduced to the paper's metrics."""
+
+    algorithm: str
+    sum_depths: int
+    depths: tuple[int, ...]
+    total_seconds: float
+    bound_seconds: float
+    dominance_seconds: float
+    combinations_formed: int
+    completed: bool
+
+
+@dataclass
+class CellResult:
+    """All runs of one parameter point, with per-algorithm averages."""
+
+    label: str
+    measurements: list[Measurement] = field(default_factory=list)
+
+    def algorithms(self) -> list[str]:
+        seen: list[str] = []
+        for m in self.measurements:
+            if m.algorithm not in seen:
+                seen.append(m.algorithm)
+        return seen
+
+    def _per_algo(self, algo: str) -> list[Measurement]:
+        return [m for m in self.measurements if m.algorithm == algo]
+
+    def mean_sum_depths(self, algo: str) -> float:
+        runs = self._per_algo(algo)
+        return float(np.mean([m.sum_depths for m in runs])) if runs else float("nan")
+
+    def mean_total_seconds(self, algo: str) -> float:
+        runs = self._per_algo(algo)
+        return float(np.mean([m.total_seconds for m in runs])) if runs else float("nan")
+
+    def mean_bound_seconds(self, algo: str) -> float:
+        runs = self._per_algo(algo)
+        return float(np.mean([m.bound_seconds for m in runs])) if runs else float("nan")
+
+    def mean_dominance_seconds(self, algo: str) -> float:
+        runs = self._per_algo(algo)
+        return (
+            float(np.mean([m.dominance_seconds for m in runs])) if runs else float("nan")
+        )
+
+    def mean_combinations(self, algo: str) -> float:
+        runs = self._per_algo(algo)
+        return (
+            float(np.mean([m.combinations_formed for m in runs]))
+            if runs
+            else float("nan")
+        )
+
+    def all_completed(self, algo: str) -> bool:
+        return all(m.completed for m in self._per_algo(algo))
+
+
+def run_cell(
+    label: str,
+    problems: Iterable[tuple[list[Relation], np.ndarray]],
+    *,
+    k: int,
+    settings: ExperimentSettings,
+    kind: AccessKind = AccessKind.DISTANCE,
+    dominance_period: int | None = None,
+    algorithms: tuple[str, ...] | None = None,
+) -> CellResult:
+    """Run every algorithm on every problem instance of one cell."""
+    scoring = EuclideanLogScoring(settings.w_s, settings.w_q, settings.w_mu)
+    cell = CellResult(label=label)
+    algos = algorithms if algorithms is not None else settings.algorithms
+    for relations, query in problems:
+        for algo in algos:
+            kwargs: dict = {"kind": kind, "max_pulls": settings.max_pulls}
+            if algo.upper().startswith("TB"):
+                kwargs["dominance_period"] = dominance_period
+            engine = make_algorithm(algo, relations, scoring, query, k, **kwargs)
+            result = engine.run()
+            cell.measurements.append(
+                Measurement(
+                    algorithm=algo.upper(),
+                    sum_depths=result.sum_depths,
+                    depths=tuple(result.depths),
+                    total_seconds=result.total_seconds,
+                    bound_seconds=result.bound_seconds,
+                    dominance_seconds=result.dominance_seconds,
+                    combinations_formed=result.combinations_formed,
+                    completed=result.completed,
+                )
+            )
+    return cell
+
+
+def run_synthetic_cell(
+    label: str,
+    *,
+    k: int,
+    n_relations: int,
+    dims: int,
+    density: float,
+    skew: float,
+    settings: ExperimentSettings,
+    kind: AccessKind = AccessKind.DISTANCE,
+    dominance_period: int | None = None,
+    algorithms: tuple[str, ...] | None = None,
+) -> CellResult:
+    """One Table 2 parameter point over ``settings.seeds`` fresh datasets."""
+    problems = (
+        generate_problem(
+            SyntheticConfig(
+                n_relations=n_relations,
+                dims=dims,
+                density=density,
+                skew=skew,
+                n_tuples=settings.n_tuples,
+                seed=seed,
+            )
+        )
+        for seed in range(settings.seeds)
+    )
+    return run_cell(
+        label,
+        problems,
+        k=k,
+        settings=settings,
+        kind=kind,
+        dominance_period=dominance_period,
+        algorithms=algorithms,
+    )

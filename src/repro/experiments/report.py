@@ -1,0 +1,166 @@
+"""Text and CSV rendering of experiment results.
+
+The paper shows bar charts; we print the same series as aligned text
+tables (one row per parameter value, one column per algorithm) plus the
+stacked-bar decomposition for CPU figures (bound share, dominance share),
+and optionally write CSV for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.experiments.harness import CellResult
+
+__all__ = ["render_table", "render_bars", "write_csv", "summarise_gain"]
+
+
+def _fmt(value: float, metric: str) -> str:
+    if value != value:  # NaN
+        return "-"
+    if metric == "sumDepths":
+        return f"{value:8.1f}"
+    return f"{value:8.4f}"
+
+
+def render_table(
+    cells: list[CellResult],
+    metric: str,
+    *,
+    title: str = "",
+) -> str:
+    """Aligned text table for one figure.
+
+    ``metric`` is ``sumDepths``, ``cpu`` or ``cpu_split`` (the latter adds
+    bound/dominance share columns per tight algorithm).
+    """
+    if not cells:
+        return "(no data)\n"
+    algos = cells[0].algorithms()
+    out = io.StringIO()
+    if title:
+        out.write(f"{title}\n")
+    if metric in ("sumDepths", "cpu"):
+        header = f"{'point':>12} " + " ".join(f"{a:>9}" for a in algos)
+        out.write(header + "\n")
+        out.write("-" * len(header) + "\n")
+        for cell in cells:
+            row = [f"{cell.label:>12}"]
+            for a in algos:
+                if metric == "sumDepths":
+                    v = cell.mean_sum_depths(a)
+                else:
+                    v = cell.mean_total_seconds(a)
+                marker = "" if cell.all_completed(a) else "*"
+                row.append(_fmt(v, metric) + marker)
+            out.write(" ".join(row) + "\n")
+        if any(not cell.all_completed(a) for cell in cells for a in algos):
+            out.write("* = cut off by the pull cap before completion (DNF)\n")
+    elif metric == "cpu_split":
+        header = (
+            f"{'point':>12} "
+            + " ".join(f"{a + suffix:>12}" for a in algos for suffix in ("", ":bound", ":dom"))
+        )
+        out.write(header + "\n")
+        out.write("-" * len(header) + "\n")
+        for cell in cells:
+            row = [f"{cell.label:>12}"]
+            for a in algos:
+                row.append(f"{cell.mean_total_seconds(a):12.4f}")
+                row.append(f"{cell.mean_bound_seconds(a):12.4f}")
+                row.append(f"{cell.mean_dominance_seconds(a):12.4f}")
+            out.write(" ".join(row) + "\n")
+    else:
+        raise ValueError(f"unknown metric {metric!r}")
+    return out.getvalue()
+
+
+def render_bars(
+    cells: list[CellResult],
+    metric: str,
+    *,
+    width: int = 46,
+    title: str = "",
+) -> str:
+    """ASCII bar-chart rendition of a figure (the paper uses bar charts).
+
+    One group of bars per parameter point, one bar per algorithm, scaled
+    to the global maximum.  ``metric`` is ``sumDepths`` or ``cpu``.
+    """
+    if not cells:
+        return "(no data)\n"
+    if metric not in ("sumDepths", "cpu"):
+        raise ValueError(f"unknown metric {metric!r}")
+
+    def value(cell: CellResult, algo: str) -> float:
+        if metric == "sumDepths":
+            return cell.mean_sum_depths(algo)
+        return cell.mean_total_seconds(algo)
+
+    algos = cells[0].algorithms()
+    peak = max(
+        (value(c, a) for c in cells for a in algos if value(c, a) == value(c, a)),
+        default=0.0,
+    )
+    out = io.StringIO()
+    if title:
+        out.write(f"{title}\n")
+    unit = "tuples" if metric == "sumDepths" else "s"
+    for cell in cells:
+        out.write(f"{cell.label}\n")
+        for algo in algos:
+            v = value(cell, algo)
+            if v != v:
+                bar, shown = "", "-"
+            else:
+                bar = "#" * max(1, int(round(width * v / peak))) if peak else ""
+                shown = f"{v:.3g}"
+            out.write(f"  {algo:>5} |{bar:<{width}} {shown} {unit}\n")
+    return out.getvalue()
+
+
+def write_csv(cells: list[CellResult], path: Path) -> None:
+    """Raw per-cell averages for every metric, one row per (point, algo)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [
+                "point",
+                "algorithm",
+                "mean_sum_depths",
+                "mean_total_seconds",
+                "mean_bound_seconds",
+                "mean_dominance_seconds",
+                "mean_combinations_formed",
+                "all_completed",
+            ]
+        )
+        for cell in cells:
+            for algo in cell.algorithms():
+                writer.writerow(
+                    [
+                        cell.label,
+                        algo,
+                        f"{cell.mean_sum_depths(algo):.3f}",
+                        f"{cell.mean_total_seconds(algo):.6f}",
+                        f"{cell.mean_bound_seconds(algo):.6f}",
+                        f"{cell.mean_dominance_seconds(algo):.6f}",
+                        f"{cell.mean_combinations(algo):.1f}",
+                        cell.all_completed(algo),
+                    ]
+                )
+
+
+def summarise_gain(cells: list[CellResult], better: str, worse: str) -> list[float]:
+    """Relative sumDepths gain of ``better`` over ``worse`` per cell,
+    e.g. TBPA over CBPA (the percentages quoted in Section 4.2)."""
+    gains = []
+    for cell in cells:
+        w = cell.mean_sum_depths(worse)
+        b = cell.mean_sum_depths(better)
+        if w > 0:
+            gains.append(1.0 - b / w)
+    return gains

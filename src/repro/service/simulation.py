@@ -1,0 +1,199 @@
+"""Simulated remote search services.
+
+The paper motivates proximity rank join with "search computing": the
+relations are remote services (Yahoo! Local, IMDB, ...) invoked over the
+Web, where fetching tuples dominates every other cost — which is exactly
+why sumDepths is the metric that matters.  This module models that
+deployment so the examples and benchmarks can report *latency-weighted*
+costs, not only access counts:
+
+* :class:`ServiceEndpoint` wraps a relation behind a paged API: each
+  *call* returns one page of tuples (distance- or score-ordered) and
+  charges a latency sampled from a configurable model.  Latency is
+  *simulated time*, accumulated in the endpoint's meter — no real
+  sleeping — so tests stay fast and deterministic.
+* :class:`ServiceStream` adapts an endpoint to the
+  :class:`~repro.core.access.AccessStream` interface, letting the ProxRJ
+  engine run unchanged against "remote" data.  Page size > 1 models
+  services that return blocks (the paper's block-fetch trade-off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.access import AccessKind, DistanceAccess, ScoreAccess
+from repro.core.relation import RankTuple, Relation
+
+__all__ = ["LatencyModel", "ServiceEndpoint", "ServiceStream", "make_service_streams"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-call latency: ``base + uniform(0, jitter)`` simulated seconds."""
+
+    base: float = 0.05
+    jitter: float = 0.02
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.base < 0 or self.jitter < 0:
+            raise ValueError("latency parameters must be non-negative")
+        return self.base + (rng.uniform(0.0, self.jitter) if self.jitter else 0.0)
+
+
+class ServiceEndpoint:
+    """A paged, ordered view of a relation behind a simulated network.
+
+    Parameters
+    ----------
+    relation, kind, query:
+        What the service serves and in which order.
+    page_size:
+        Tuples returned per call.
+    latency:
+        Latency model; each *call* (not each tuple) charges one sample.
+    seed:
+        Seed for the latency jitter.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        *,
+        kind: AccessKind,
+        query: np.ndarray | None = None,
+        page_size: int = 10,
+        latency: LatencyModel | None = None,
+        seed: int = 0,
+    ) -> None:
+        if page_size < 1:
+            raise ValueError("page_size must be >= 1")
+        if kind is AccessKind.DISTANCE:
+            if query is None:
+                raise ValueError("distance-ordered services need a query")
+            self._inner = DistanceAccess(relation, query)
+        else:
+            self._inner = ScoreAccess(relation)
+        self.relation = relation
+        self.kind = kind
+        self.page_size = page_size
+        self.latency = latency or LatencyModel()
+        self._rng = np.random.default_rng(seed)
+        self.calls = 0
+        self.tuples_served = 0
+        self.simulated_seconds = 0.0
+
+    def fetch_page(self) -> list[RankTuple]:
+        """One service invocation: up to ``page_size`` ordered tuples.
+
+        An empty page signals exhaustion.  Every call — including the one
+        that discovers exhaustion — pays the latency.
+        """
+        self.calls += 1
+        self.simulated_seconds += self.latency.sample(self._rng)
+        page: list[RankTuple] = []
+        for _ in range(self.page_size):
+            tup = self._inner.next()
+            if tup is None:
+                break
+            page.append(tup)
+        self.tuples_served += len(page)
+        return page
+
+
+class ServiceStream:
+    """Adapts a :class:`ServiceEndpoint` to the engine's stream interface.
+
+    Buffers pages locally; the endpoint's meters keep the remote-cost
+    accounting (calls, simulated seconds) while this object keeps the
+    paper-visible state (depth, first/last distance or score).
+    """
+
+    def __init__(self, endpoint: ServiceEndpoint) -> None:
+        self.endpoint = endpoint
+        self.kind = endpoint.kind
+        self.relation = endpoint.relation
+        self._seen: list[RankTuple] = []
+        self._buffer: list[RankTuple] = []
+        self._distances: list[float] = []
+        self._remote_exhausted = False
+        if self.kind is AccessKind.DISTANCE:
+            self._query = np.asarray(endpoint._inner.query, dtype=float)
+
+    # -- AccessStream interface -------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self._seen)
+
+    @property
+    def seen(self) -> list[RankTuple]:
+        return self._seen
+
+    @property
+    def sigma_max(self) -> float:
+        return self.relation.sigma_max
+
+    @property
+    def exhausted(self) -> bool:
+        return self._remote_exhausted and not self._buffer
+
+    def next(self) -> RankTuple | None:
+        if not self._buffer and not self._remote_exhausted:
+            page = self.endpoint.fetch_page()
+            if len(page) < self.endpoint.page_size:
+                self._remote_exhausted = True
+            self._buffer.extend(page)
+        if not self._buffer:
+            return None
+        tup = self._buffer.pop(0)
+        self._seen.append(tup)
+        if self.kind is AccessKind.DISTANCE:
+            self._distances.append(float(np.linalg.norm(tup.vector - self._query)))
+        return tup
+
+    # -- distance-kind statistics -------------------------------------------
+
+    @property
+    def first_distance(self) -> float:
+        return self._distances[0] if self._distances else 0.0
+
+    @property
+    def last_distance(self) -> float:
+        return self._distances[-1] if self._distances else 0.0
+
+    # -- score-kind statistics ------------------------------------------------
+
+    @property
+    def first_score(self) -> float:
+        return self._seen[0].score if self._seen else self.sigma_max
+
+    @property
+    def last_score(self) -> float:
+        return self._seen[-1].score if self._seen else self.sigma_max
+
+
+def make_service_streams(
+    relations: list[Relation],
+    *,
+    kind: AccessKind,
+    query: np.ndarray | None = None,
+    page_size: int = 10,
+    latency: LatencyModel | None = None,
+    seed: int = 0,
+) -> list[ServiceStream]:
+    """One service-backed stream per relation (shared latency model)."""
+    streams = []
+    for idx, rel in enumerate(relations):
+        endpoint = ServiceEndpoint(
+            rel,
+            kind=kind,
+            query=query,
+            page_size=page_size,
+            latency=latency,
+            seed=seed + idx,
+        )
+        streams.append(ServiceStream(endpoint))
+    return streams

@@ -1,0 +1,32 @@
+"""Spatial substrate: metrics, centroids and a k-d tree with incremental
+nearest-neighbour access (the offline stand-in for the R-tree-family
+indexes cited in the paper's related work)."""
+
+from repro.spatial.grid import GridIndex
+from repro.spatial.kdtree import KDNode, KDTree
+from repro.spatial.metrics import (
+    METRICS,
+    chebyshev,
+    cosine_distance,
+    euclidean,
+    geometric_median,
+    get_metric,
+    manhattan,
+    mean_centroid,
+    squared_euclidean,
+)
+
+__all__ = [
+    "GridIndex",
+    "KDNode",
+    "KDTree",
+    "METRICS",
+    "chebyshev",
+    "cosine_distance",
+    "euclidean",
+    "geometric_median",
+    "get_metric",
+    "manhattan",
+    "mean_centroid",
+    "squared_euclidean",
+]

@@ -1,0 +1,142 @@
+"""Distance metrics and centroid computations.
+
+The paper works with a metric distance ``delta(x, q)`` between feature
+vectors and defines the centroid of a combination as the point minimising
+the sum of distances to its members.  For the Euclidean-quadratic
+aggregation function (paper eq. 2) the relevant centroid is the arithmetic
+mean (minimiser of the sum of *squared* Euclidean distances); the general
+sum-of-distances minimiser (geometric median) is also provided for
+completeness and for the cosine/extension scorings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "euclidean",
+    "squared_euclidean",
+    "manhattan",
+    "chebyshev",
+    "cosine_distance",
+    "mean_centroid",
+    "geometric_median",
+    "METRICS",
+    "get_metric",
+]
+
+
+def euclidean(x: np.ndarray, y: np.ndarray) -> float:
+    """Euclidean (L2) distance between two vectors."""
+    return float(np.linalg.norm(np.asarray(x, dtype=float) - np.asarray(y, dtype=float)))
+
+
+def squared_euclidean(x: np.ndarray, y: np.ndarray) -> float:
+    """Squared Euclidean distance; not a metric but used inside scorings."""
+    d = np.asarray(x, dtype=float) - np.asarray(y, dtype=float)
+    return float(d @ d)
+
+
+def manhattan(x: np.ndarray, y: np.ndarray) -> float:
+    """Manhattan (L1) distance."""
+    return float(np.abs(np.asarray(x, dtype=float) - np.asarray(y, dtype=float)).sum())
+
+
+def chebyshev(x: np.ndarray, y: np.ndarray) -> float:
+    """Chebyshev (L-infinity) distance."""
+    return float(np.abs(np.asarray(x, dtype=float) - np.asarray(y, dtype=float)).max())
+
+
+def cosine_distance(x: np.ndarray, y: np.ndarray) -> float:
+    """Cosine distance ``1 - cos(x, y)`` in ``[0, 2]``.
+
+    Zero vectors are conventionally at distance 1 from everything (they
+    carry no directional information).
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    nx = np.linalg.norm(x)
+    ny = np.linalg.norm(y)
+    if nx == 0.0 or ny == 0.0:
+        return 1.0
+    cos = float(np.clip((x @ y) / (nx * ny), -1.0, 1.0))
+    return 1.0 - cos
+
+
+METRICS: dict[str, Callable[[np.ndarray, np.ndarray], float]] = {
+    "euclidean": euclidean,
+    "squared_euclidean": squared_euclidean,
+    "manhattan": manhattan,
+    "chebyshev": chebyshev,
+    "cosine": cosine_distance,
+}
+
+
+def get_metric(name: str) -> Callable[[np.ndarray, np.ndarray], float]:
+    """Look up a metric by name, raising ``KeyError`` with guidance."""
+    try:
+        return METRICS[name]
+    except KeyError:
+        known = ", ".join(sorted(METRICS))
+        raise KeyError(f"unknown metric {name!r}; known metrics: {known}") from None
+
+
+def mean_centroid(points: np.ndarray) -> np.ndarray:
+    """Arithmetic mean of the rows of ``points``.
+
+    This is the minimiser of the sum of squared Euclidean distances and is
+    the centroid used by the paper's Euclidean aggregation function (2)
+    (see Appendix B.3, where ``mu`` is expanded as the arithmetic mean).
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    if pts.size == 0:
+        raise ValueError("cannot take the centroid of an empty point set")
+    return pts.mean(axis=0)
+
+
+def geometric_median(
+    points: np.ndarray,
+    *,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Weiszfeld's algorithm for the sum-of-Euclidean-distances minimiser.
+
+    This is the centroid ``arg min_w  sum_i delta(x_i, w)`` of the paper's
+    Section 2 for a plain (non-squared) Euclidean ``delta``.  The iteration
+    handles the classical degeneracy of landing exactly on an input point
+    by nudging along the subgradient.
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    if pts.size == 0:
+        raise ValueError("cannot take the geometric median of an empty point set")
+    if len(pts) == 1:
+        return pts[0].copy()
+    y = pts.mean(axis=0)
+    for _ in range(max_iter):
+        diffs = pts - y
+        dists = np.linalg.norm(diffs, axis=1)
+        coincident = dists < 1e-14
+        if coincident.any():
+            # Vardi-Zhang correction: stay put if the pull of the other
+            # points is weaker than the multiplicity of the coincident one.
+            others = ~coincident
+            if not others.any():
+                return y
+            w = 1.0 / dists[others]
+            t = (pts[others] * w[:, None]).sum(axis=0) / w.sum()
+            r = np.linalg.norm(((pts[others] - y) / dists[others][:, None]).sum(axis=0))
+            eta = coincident.sum()
+            if r <= eta:
+                return y
+            step = max(0.0, 1.0 - eta / r)
+            y_next = step * t + (1.0 - step) * y
+        else:
+            w = 1.0 / dists
+            y_next = (pts * w[:, None]).sum(axis=0) / w.sum()
+        if np.linalg.norm(y_next - y) <= tol * (1.0 + np.linalg.norm(y)):
+            return y_next
+        y = y_next
+    return y

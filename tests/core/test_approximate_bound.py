@@ -1,0 +1,140 @@
+"""Tests for the budgeted tight-bound approximation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AccessKind,
+    CornerBound,
+    EuclideanLogScoring,
+    ProxRJ,
+    Relation,
+    RoundRobin,
+    TightBound,
+    TopKBuffer,
+    brute_force_topk,
+)
+from repro.core.access import open_streams
+from repro.core.bounds.approximate import ApproxTightBound
+from repro.core.bounds.base import EngineState
+
+
+def instance(seed, n=2, size=15, d=2):
+    rng = np.random.default_rng(seed)
+    rels = [
+        Relation(
+            f"R{i}", rng.uniform(0.05, 1, size), rng.uniform(-2, 2, (size, d)),
+            sigma_max=1.0,
+        )
+        for i in range(n)
+    ]
+    return rels, rng.uniform(-0.5, 0.5, d)
+
+
+def run_bound(bound, relations, query, rounds=4):
+    state = EngineState(
+        scoring=EuclideanLogScoring(),
+        kind=AccessKind.DISTANCE,
+        query=query,
+        streams=open_streams(relations, AccessKind.DISTANCE, query),
+        k=3,
+        output=TopKBuffer(3),
+    )
+    values = []
+    for _ in range(rounds):
+        for i, s in enumerate(state.streams):
+            tau = s.next()
+            if tau is not None:
+                values.append(bound.update(state, i, tau))
+    return values
+
+
+class TestValidation:
+    def test_negative_budget(self):
+        with pytest.raises(ValueError):
+            ApproxTightBound(budget=-1)
+
+    def test_score_access_rejected(self):
+        relations, query = instance(0)
+        state = EngineState(
+            scoring=EuclideanLogScoring(),
+            kind=AccessKind.SCORE,
+            query=query,
+            streams=open_streams(relations, AccessKind.SCORE),
+            k=1,
+            output=TopKBuffer(1),
+        )
+        bound = ApproxTightBound()
+        state.streams[0].next()
+        with pytest.raises(ValueError, match="score access"):
+            bound.update(state, 0, state.streams[0].seen[-1])
+
+
+class TestSandwich:
+    """tight <= approx <= corner, pointwise along the pull sequence."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 300), st.sampled_from([0, 2, 16, 256]))
+    def test_between_tight_and_corner(self, seed, budget):
+        relations, query = instance(seed)
+        tight_vals = run_bound(TightBound(), relations, query)
+        corner_vals = run_bound(CornerBound(), relations, query)
+        approx_vals = run_bound(ApproxTightBound(budget=budget), relations, query)
+        for t, a, c in zip(tight_vals, approx_vals, corner_vals):
+            assert t - 1e-7 <= a  # never below the exact tight bound
+            assert a <= c + 1e-7  # never looser than the corner bound
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 300))
+    def test_large_budget_equals_tight(self, seed):
+        relations, query = instance(seed, size=10)
+        tight_vals = run_bound(TightBound(), relations, query)
+        approx_vals = run_bound(ApproxTightBound(budget=10_000), relations, query)
+        np.testing.assert_allclose(approx_vals, tight_vals, atol=1e-7)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("budget", [0, 4, 64])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_correct_topk(self, budget, seed):
+        relations, query = instance(seed, size=20)
+        scoring = EuclideanLogScoring()
+        expected = brute_force_topk(relations, scoring, query, 4)
+        engine = ProxRJ(
+            relations, scoring, kind=AccessKind.DISTANCE, query=query,
+            bound=ApproxTightBound(budget=budget), pull=RoundRobin(), k=4,
+        )
+        result = engine.run()
+        assert [c.key for c in result.combinations] == [c.key for c in expected]
+
+    def test_io_between_corner_and_tight(self):
+        """Averaged over instances, the approximation reads no more than
+        the corner bound and no less than the exact tight bound."""
+        scoring = EuclideanLogScoring()
+        total = {"corner": 0, "approx": 0, "tight": 0}
+        for seed in range(6):
+            relations, query = instance(seed, size=30)
+            for name, bound in (
+                ("corner", CornerBound()),
+                ("approx", ApproxTightBound(budget=8)),
+                ("tight", TightBound()),
+            ):
+                engine = ProxRJ(
+                    relations, scoring, kind=AccessKind.DISTANCE, query=query,
+                    bound=bound, pull=RoundRobin(), k=5,
+                )
+                total[name] += engine.run().sum_depths
+        assert total["tight"] <= total["approx"] <= total["corner"]
+
+    def test_counters(self):
+        relations, query = instance(3, size=20)
+        bound = ApproxTightBound(budget=4)
+        engine = ProxRJ(
+            relations, EuclideanLogScoring(), kind=AccessKind.DISTANCE,
+            query=query, bound=bound, pull=RoundRobin(), k=3,
+        )
+        engine.run()
+        assert bound.counters.qp_solves > 0
+        assert bound.counters.entries_created > 0

@@ -1,0 +1,121 @@
+"""The vectorised combination scorer must agree with the canonical path."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EuclideanLogScoring, LinearScoring, Relation, TopKBuffer
+from repro.core.batchscore import QuadraticBatchScorer
+
+
+def pools_from(rng, sizes, d):
+    pools = []
+    for idx, size in enumerate(sizes):
+        rel = Relation(
+            f"R{idx}",
+            rng.uniform(0.05, 1.0, size),
+            rng.uniform(-2, 2, (size, d)),
+            sigma_max=1.0,
+        )
+        pools.append(list(rel))
+    return pools
+
+
+class TestScorePools:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(1, 5), min_size=1, max_size=3),
+        st.integers(1, 4),
+        st.randoms(use_true_random=False),
+    )
+    def test_matches_scalar_scoring(self, sizes, d, rnd):
+        rng = np.random.default_rng(rnd.randint(0, 2**32 - 1))
+        scoring = EuclideanLogScoring(1.3, 0.7, 2.1)
+        query = rng.uniform(-1, 1, d)
+        pools = pools_from(rng, sizes, d)
+        scorer = QuadraticBatchScorer(scoring, query)
+        batch = scorer.score_pools(pools)
+        assert batch.shape == tuple(sizes)
+        for coords in itertools.product(*(range(s) for s in sizes)):
+            tuples = [pools[j][c] for j, c in zip(range(len(pools)), coords)]
+            expected = scoring.score_combination(tuples, query)
+            assert batch[coords] == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    def test_linear_scoring_supported(self):
+        rng = np.random.default_rng(0)
+        scoring = LinearScoring(1.0, 1.0, 1.0)
+        query = np.zeros(2)
+        pools = pools_from(rng, [3, 3], 2)
+        scorer = QuadraticBatchScorer(scoring, query)
+        batch = scorer.score_pools(pools)
+        expected = scoring.score_combination([pools[0][1], pools[1][2]], query)
+        assert batch[1, 2] == pytest.approx(expected, abs=1e-9)
+
+    def test_stats_cached_across_calls(self):
+        rng = np.random.default_rng(1)
+        scorer = QuadraticBatchScorer(EuclideanLogScoring(), np.zeros(2))
+        pools = pools_from(rng, [4, 4], 2)
+        scorer.score_pools(pools)
+        cached = len(scorer._scalar)
+        scorer.score_pools(pools)
+        assert len(scorer._scalar) == cached == 8
+
+
+class TestAddCrossProduct:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(1, 6), min_size=2, max_size=3),
+        st.integers(1, 5),
+        st.randoms(use_true_random=False),
+    )
+    def test_buffer_equals_exhaustive_insertion(self, sizes, k, rnd):
+        rng = np.random.default_rng(rnd.randint(0, 2**32 - 1))
+        scoring = EuclideanLogScoring()
+        query = rng.uniform(-1, 1, 2)
+        pools = pools_from(rng, sizes, 2)
+        scorer = QuadraticBatchScorer(scoring, query)
+
+        fast = TopKBuffer(k)
+        count = scorer.add_cross_product(pools, fast)
+        assert count == int(np.prod(sizes))
+
+        slow = TopKBuffer(k)
+        for tuples in itertools.product(*pools):
+            slow.add(scoring.make_combination(tuples, query))
+
+        assert [c.key for c in fast.ranked()] == [c.key for c in slow.ranked()]
+        assert [c.score for c in fast.ranked()] == pytest.approx(
+            [c.score for c in slow.ranked()]
+        )
+
+    def test_empty_pool_short_circuits(self):
+        scorer = QuadraticBatchScorer(EuclideanLogScoring(), np.zeros(2))
+        buf = TopKBuffer(3)
+        assert scorer.add_cross_product([[], []], buf) == 0
+        assert len(buf) == 0
+
+    def test_incremental_pulls_match_sequential_engine_semantics(self):
+        """Feeding pool batches pull by pull (as the engine does) fills
+        the buffer exactly like scoring everything at once."""
+        rng = np.random.default_rng(3)
+        scoring = EuclideanLogScoring()
+        query = np.zeros(2)
+        pools = pools_from(rng, [5, 5], 2)
+        scorer = QuadraticBatchScorer(scoring, query)
+
+        incremental = TopKBuffer(4)
+        seen0, seen1 = [], []
+        for step in range(5):
+            seen0.append(pools[0][step])
+            scorer.add_cross_product([[pools[0][step]], seen1], incremental)
+            seen1.append(pools[1][step])
+            scorer.add_cross_product([seen0, [pools[1][step]]], incremental)
+
+        oneshot = TopKBuffer(4)
+        scorer.add_cross_product(pools, oneshot)
+        assert [c.key for c in incremental.ranked()] == [
+            c.key for c in oneshot.ranked()
+        ]

@@ -1,0 +1,99 @@
+"""Tests for the bounded top-K output buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Combination, RankTuple, TopKBuffer
+
+
+def combo(key, score):
+    tuples = tuple(RankTuple(f"R{i}", tid, 0.5, [0.0]) for i, tid in enumerate(key))
+    return Combination(tuples, score)
+
+
+class TestTopKBuffer:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopKBuffer(0)
+
+    def test_kth_score_before_full(self):
+        buf = TopKBuffer(2)
+        buf.add(combo((0,), -1.0))
+        assert not buf.full
+        assert buf.kth_score == float("-inf")
+
+    def test_kth_score_when_full(self):
+        buf = TopKBuffer(2)
+        buf.add(combo((0,), -1.0))
+        buf.add(combo((1,), -3.0))
+        assert buf.full
+        assert buf.kth_score == -3.0
+
+    def test_eviction_keeps_best(self):
+        buf = TopKBuffer(2)
+        buf.add(combo((0,), -5.0))
+        buf.add(combo((1,), -1.0))
+        assert buf.add(combo((2,), -2.0))  # evicts -5
+        assert [c.score for c in buf.ranked()] == [-1.0, -2.0]
+
+    def test_rejects_worse_than_kth(self):
+        buf = TopKBuffer(1)
+        buf.add(combo((0,), -1.0))
+        assert not buf.add(combo((1,), -2.0))
+        assert [c.key for c in buf.ranked()] == [(0,)]
+
+    def test_duplicate_keys_ignored(self):
+        buf = TopKBuffer(3)
+        assert buf.add(combo((0, 1), -1.0))
+        assert not buf.add(combo((0, 1), -1.0))
+        assert len(buf) == 1
+
+    def test_tie_break_smaller_key_wins(self):
+        buf = TopKBuffer(1)
+        buf.add(combo((5,), -1.0))
+        buf.add(combo((2,), -1.0))  # same score, smaller key -> wins
+        assert buf.ranked()[0].key == (2,)
+
+    def test_tie_break_insertion_order_independent(self):
+        a, b = combo((2,), -1.0), combo((5,), -1.0)
+        buf1, buf2 = TopKBuffer(1), TopKBuffer(1)
+        buf1.add(a), buf1.add(b)
+        buf2.add(b), buf2.add(a)
+        assert buf1.ranked()[0].key == buf2.ranked()[0].key == (2,)
+
+    def test_iteration_is_ranked(self):
+        buf = TopKBuffer(3)
+        for i, s in enumerate([-3.0, -1.0, -2.0]):
+            buf.add(combo((i,), s))
+        assert [c.score for c in buf] == [-1.0, -2.0, -3.0]
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=0, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(1, 10),
+    )
+    def test_matches_sorted_reference(self, scores, k):
+        buf = TopKBuffer(k)
+        for i, s in enumerate(scores):
+            buf.add(combo((i,), s))
+        got = [c.score for c in buf.ranked()]
+        expected = sorted(scores, reverse=True)[:k]
+        assert got == pytest.approx(expected)
+
+    @settings(max_examples=30)
+    @given(st.permutations(list(range(8))))
+    def test_order_insensitive(self, perm):
+        scores = [-1.0, -2.0, -2.0, -3.0, -4.0, -4.0, -4.0, -5.0]
+        ref = TopKBuffer(4)
+        for i in range(8):
+            ref.add(combo((i,), scores[i]))
+        shuffled = TopKBuffer(4)
+        for i in perm:
+            shuffled.add(combo((i,), scores[i]))
+        assert [c.key for c in ref.ranked()] == [c.key for c in shuffled.ranked()]

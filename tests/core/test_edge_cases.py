@@ -1,0 +1,164 @@
+"""Edge cases across the core: degenerate geometry, extreme weights,
+duplicate tuples, antipodal cosine centroids, metric-disagreement
+orderings."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AccessKind,
+    CosineProximityScoring,
+    EuclideanLogScoring,
+    LinearScoring,
+    Relation,
+    brute_force_topk,
+    make_algorithm,
+)
+from repro.core.access import DistanceAccess
+
+
+class TestDegenerateGeometry:
+    def test_all_tuples_at_query(self):
+        """Everything at distance zero: ranking reduces to scores."""
+        rels = [
+            Relation("A", [0.3, 0.9, 0.6], [[0.0, 0.0]] * 3, sigma_max=1.0),
+            Relation("B", [0.8, 0.2], [[0.0, 0.0]] * 2, sigma_max=1.0),
+        ]
+        scoring = EuclideanLogScoring()
+        q = np.zeros(2)
+        expected = brute_force_topk(rels, scoring, q, 3)
+        result = make_algorithm(
+            "TBPA", rels, scoring, q, 3, kind=AccessKind.DISTANCE
+        ).run()
+        assert [c.key for c in result.combinations] == [c.key for c in expected]
+        assert expected[0].key == (1, 0)  # best scores win
+
+    def test_duplicate_positions_and_scores(self):
+        rels = [
+            Relation("A", [0.5] * 5, [[1.0, 0.0]] * 5, sigma_max=1.0),
+            Relation("B", [0.5] * 5, [[0.0, 1.0]] * 5, sigma_max=1.0),
+        ]
+        scoring = EuclideanLogScoring()
+        q = np.zeros(2)
+        result = make_algorithm(
+            "TBRR", rels, scoring, q, 4, kind=AccessKind.DISTANCE
+        ).run()
+        # Deterministic tie-break: lexicographically smallest keys first.
+        assert [c.key for c in result.combinations] == [
+            (0, 0), (0, 1), (0, 2), (0, 3),
+        ]
+
+    def test_symmetric_centroid_on_query(self):
+        """Partial centroid exactly at the query (nu = q): the degenerate
+        ray case must still certify correctly."""
+        rels = [
+            Relation("A", [1.0, 1.0, 0.5], [[1.0, 0.0], [-1.0, 0.0], [9.0, 9.0]]),
+            Relation("B", [1.0, 0.5], [[0.0, 1.0], [9.0, -9.0]]),
+        ]
+        scoring = EuclideanLogScoring()
+        q = np.zeros(2)
+        expected = brute_force_topk(rels, scoring, q, 2)
+        result = make_algorithm(
+            "TBPA", rels, scoring, q, 2, kind=AccessKind.DISTANCE
+        ).run()
+        assert [c.key for c in result.combinations] == [c.key for c in expected]
+
+    def test_one_dimensional_space(self):
+        rng = np.random.default_rng(0)
+        rels = [
+            Relation(f"R{i}", rng.uniform(0.05, 1, 10), rng.uniform(-2, 2, (10, 1)))
+            for i in range(2)
+        ]
+        scoring = EuclideanLogScoring()
+        q = np.zeros(1)
+        expected = brute_force_topk(rels, scoring, q, 3)
+        result = make_algorithm(
+            "TBRR", rels, scoring, q, 3, kind=AccessKind.DISTANCE
+        ).run()
+        assert [c.key for c in result.combinations] == [c.key for c in expected]
+
+
+class TestExtremeWeights:
+    @pytest.mark.parametrize(
+        "weights",
+        [(1.0, 0.0, 0.0), (0.0, 1.0, 0.0), (0.0, 0.0, 1.0), (100.0, 0.01, 0.01)],
+    )
+    def test_single_term_dominates(self, weights):
+        rng = np.random.default_rng(1)
+        rels = [
+            Relation(
+                f"R{i}", rng.uniform(0.05, 1, 8), rng.uniform(-2, 2, (8, 2)),
+                sigma_max=1.0,
+            )
+            for i in range(2)
+        ]
+        scoring = LinearScoring(*weights)
+        q = np.zeros(2)
+        expected = brute_force_topk(rels, scoring, q, 3)
+        for algo in ("CBRR", "TBPA"):
+            result = make_algorithm(
+                algo, rels, scoring, q, 3, kind=AccessKind.DISTANCE
+            ).run()
+            got = [c.score for c in result.combinations]
+            assert got == pytest.approx([c.score for c in expected])
+
+    def test_score_only_weights_under_score_access(self):
+        """w_q = w_mu = 0 under score access: pure rank aggregation."""
+        rng = np.random.default_rng(2)
+        rels = [
+            Relation(
+                f"R{i}", rng.uniform(0.05, 1, 10), rng.uniform(-2, 2, (10, 2)),
+                sigma_max=1.0,
+            )
+            for i in range(2)
+        ]
+        scoring = LinearScoring(1.0, 0.0, 0.0)
+        q = np.zeros(2)
+        expected = brute_force_topk(rels, scoring, q, 1)
+        result = make_algorithm(
+            "TBRR", rels, scoring, q, 1, kind=AccessKind.SCORE
+        ).run()
+        assert result.combinations[0].score == pytest.approx(expected[0].score)
+        # Top-1 of a monotone sum is the pair of top scores: depth 1 + 1
+        # suffices and the tight bound certifies immediately.
+        assert result.sum_depths <= 4
+
+
+class TestCosineDegeneracies:
+    def test_antipodal_centroid_fallback(self):
+        s = CosineProximityScoring()
+        c = s.centroid(np.array([[1.0, 0.0], [-1.0, 0.0]]))
+        assert np.all(np.isfinite(c))
+
+    def test_zero_vector_tuple(self):
+        s = CosineProximityScoring()
+        from repro.core import RankTuple
+
+        tuples = [
+            RankTuple("A", 0, 0.5, [0.0, 0.0]),
+            RankTuple("B", 0, 0.5, [1.0, 0.0]),
+        ]
+        value = s.score_combination(tuples, np.array([1.0, 0.0]))
+        assert np.isfinite(value)
+
+
+class TestMetricDisagreement:
+    def test_custom_metric_changes_order(self):
+        # (0, 3): L2 = 3, L1 = 3;  (2.2, 2.2): L2 ~ 3.11, L1 = 4.4.
+        # (2.9, 0.5): L2 ~ 2.94 (closer in L2), L1 = 3.4 (farther in L1).
+        rel = Relation("R", [1.0, 1.0], [[0.0, 3.0], [2.9, 0.5]])
+        q = np.zeros(2)
+        l2_first = [t.tid for t in _drain(DistanceAccess(rel, q))]
+        manhattan = lambda x, y: float(np.abs(x - y).sum())
+        l1_first = [t.tid for t in _drain(DistanceAccess(rel, q, metric=manhattan))]
+        assert l2_first == [1, 0]
+        assert l1_first == [0, 1]
+
+
+def _drain(stream):
+    out = []
+    while True:
+        t = stream.next()
+        if t is None:
+            return out
+        out.append(t)

@@ -1,0 +1,141 @@
+"""Physical invariance properties of the scoring and the tight bound.
+
+The Euclidean aggregation (2) depends only on relative geometry, so
+rigid motions applied consistently to every vector *and* the query must
+leave combination scores, tight-bound values and the algorithms' access
+sequences unchanged.  These are strong whole-pipeline integrity checks:
+almost any indexing or centring bug breaks one of them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AccessKind, EuclideanLogScoring, Relation, make_algorithm
+from repro.core.bounds.geometry import solve_completion
+
+SCORING = EuclideanLogScoring(1.0, 1.0, 1.0)
+
+
+def rotation_matrix(angle: float) -> np.ndarray:
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[c, -s], [s, c]])
+
+
+def random_setup(seed: int, size: int = 12):
+    rng = np.random.default_rng(seed)
+    relations = [
+        Relation(
+            f"R{i}", rng.uniform(0.05, 1, size), rng.uniform(-2, 2, (size, 2)),
+            sigma_max=1.0,
+        )
+        for i in range(2)
+    ]
+    return relations, rng.uniform(-1, 1, 2)
+
+
+def transform_setup(relations, query, rot, shift):
+    moved = [
+        Relation(
+            r.name,
+            [t.score for t in r],
+            np.array([rot @ t.vector + shift for t in r]),
+            sigma_max=r.sigma_max,
+        )
+        for r in relations
+    ]
+    return moved, rot @ query + shift
+
+
+angles = st.floats(min_value=-np.pi, max_value=np.pi, allow_nan=False)
+shifts = st.tuples(
+    st.floats(min_value=-5, max_value=5, allow_nan=False),
+    st.floats(min_value=-5, max_value=5, allow_nan=False),
+)
+
+
+class TestScoreInvariance:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100), angles, shifts)
+    def test_combination_scores_invariant(self, seed, angle, shift):
+        relations, query = random_setup(seed, size=4)
+        rot = rotation_matrix(angle)
+        moved, moved_query = transform_setup(relations, query, rot, np.array(shift))
+        for t0, m0 in zip(relations[0], moved[0]):
+            for t1, m1 in zip(relations[1], moved[1]):
+                original = SCORING.score_combination((t0, t1), query)
+                transformed = SCORING.score_combination((m0, m1), moved_query)
+                assert transformed == pytest.approx(original, abs=1e-8)
+
+
+class TestBoundInvariance:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100), angles, shifts)
+    def test_completion_bound_invariant(self, seed, angle, shift):
+        rng = np.random.default_rng(seed)
+        rot = rotation_matrix(angle)
+        shift = np.array(shift)
+        query = rng.uniform(-1, 1, 2)
+        seen = {0: (float(rng.uniform(0.1, 1)), rng.uniform(-2, 2, 2))}
+        delta = {1: float(abs(rng.normal()) + 0.1)}
+        sigma = {1: 1.0}
+        original = solve_completion(SCORING, 2, query, seen, delta, sigma)
+        moved_seen = {0: (seen[0][0], rot @ seen[0][1] + shift)}
+        transformed = solve_completion(
+            SCORING, 2, rot @ query + shift, moved_seen, delta, sigma
+        )
+        assert transformed.value == pytest.approx(original.value, abs=1e-8)
+        # The optimiser's positions transform covariantly.
+        np.testing.assert_allclose(
+            transformed.positions[1],
+            rot @ original.positions[1] + shift,
+            atol=1e-7,
+        )
+
+
+class TestAlgorithmInvariance:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 50), angles, shifts)
+    def test_depths_and_ranking_invariant(self, seed, angle, shift):
+        relations, query = random_setup(seed)
+        rot = rotation_matrix(angle)
+        moved, moved_query = transform_setup(relations, query, rot, np.array(shift))
+        a = make_algorithm(
+            "TBPA", relations, SCORING, query, 3, kind=AccessKind.DISTANCE
+        ).run()
+        b = make_algorithm(
+            "TBPA", moved, SCORING, moved_query, 3, kind=AccessKind.DISTANCE
+        ).run()
+        assert a.depths == b.depths
+        assert [c.key for c in a.combinations] == [c.key for c in b.combinations]
+        assert [c.score for c in a.combinations] == pytest.approx(
+            [c.score for c in b.combinations], abs=1e-7
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 50))
+    def test_score_scaling_of_wq_wmu(self, seed):
+        """Scaling both distance weights by a constant is the same as
+        scaling all coordinates by its square root (gauge freedom)."""
+        relations, query = random_setup(seed)
+        scoring_scaled = EuclideanLogScoring(1.0, 4.0, 4.0)
+        scaled_rels = [
+            Relation(
+                r.name,
+                [t.score for t in r],
+                np.array([t.vector * 2.0 for t in r]),
+                sigma_max=r.sigma_max,
+            )
+            for r in relations
+        ]
+        a = make_algorithm(
+            "TBRR", relations, scoring_scaled, query, 3, kind=AccessKind.DISTANCE
+        ).run()
+        b = make_algorithm(
+            "TBRR", scaled_rels, SCORING, query * 2.0, 3, kind=AccessKind.DISTANCE
+        ).run()
+        assert a.depths == b.depths
+        assert [c.score for c in a.combinations] == pytest.approx(
+            [c.score for c in b.combinations], abs=1e-7
+        )

@@ -1,0 +1,66 @@
+"""The numeric fallback bound must agree with the exact closed forms on
+the quadratic family, and be usable for the cosine extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import CosineProximityScoring, EuclideanLogScoring
+from repro.core.bounds.geometry import score_access_completion, solve_completion
+from repro.core.bounds.numeric import numeric_completion
+
+pytest.importorskip("scipy")
+
+SCORING = EuclideanLogScoring(1.0, 1.0, 1.0)
+
+
+class TestAgainstClosedForm:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_distance_access_matches_qp(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 3
+        query = rng.normal(size=2)
+        seen = {0: (float(rng.uniform(0.2, 1.0)), rng.normal(size=2))}
+        unseen_delta = {1: float(abs(rng.normal())), 2: float(abs(rng.normal()))}
+        unseen_sigma = {1: 1.0, 2: 1.0}
+        exact = solve_completion(SCORING, n, query, seen, unseen_delta, unseen_sigma)
+        approx = numeric_completion(
+            SCORING, n, query, seen, unseen_sigma, unseen_delta, restarts=6
+        )
+        assert approx == pytest.approx(exact.value, abs=1e-4)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_score_access_matches_closed_form(self, seed):
+        rng = np.random.default_rng(seed + 100)
+        n = 2
+        query = rng.normal(size=2)
+        seen = {0: (float(rng.uniform(0.2, 1.0)), rng.normal(size=2))}
+        unseen_sigma = {1: float(rng.uniform(0.2, 1.0))}
+        exact = score_access_completion(SCORING, n, query, seen, unseen_sigma)
+        approx = numeric_completion(SCORING, n, query, seen, unseen_sigma, None)
+        assert approx == pytest.approx(exact.value, abs=1e-4)
+
+    def test_requires_unseen(self):
+        with pytest.raises(ValueError, match="unseen"):
+            numeric_completion(SCORING, 1, np.zeros(2), {0: (1.0, np.zeros(2))}, {})
+
+
+class TestCosineExtension:
+    def test_bound_dominates_sampled_completions(self):
+        """For the cosine scoring (paper future work) the numeric bound
+        should upper-bound random feasible completions."""
+        scoring = CosineProximityScoring(1.0, 1.0, 1.0)
+        rng = np.random.default_rng(7)
+        query = np.array([1.0, 0.0])
+        seen = {0: (0.8, np.array([0.9, 0.1]))}
+        unseen_sigma = {1: 0.9}
+        bound = numeric_completion(
+            scoring, 2, query, seen, unseen_sigma, None, restarts=8
+        )
+        from repro.core.relation import RankTuple
+
+        base = RankTuple("R0", 0, 0.8, seen[0][1])
+        for _ in range(40):
+            y = rng.normal(size=2)
+            other = RankTuple("R1", 0, 0.9, y)
+            s = scoring.score_combination((base, other), query)
+            assert s <= bound + 1e-3

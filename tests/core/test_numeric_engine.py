@@ -1,0 +1,69 @@
+"""Engine-level tests of the NumericTightBound extension scheme."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AccessKind,
+    CosineProximityScoring,
+    EuclideanLogScoring,
+    ProxRJ,
+    Relation,
+    RoundRobin,
+    brute_force_topk,
+)
+from repro.core.bounds.numeric import NumericTightBound
+
+pytest.importorskip("scipy")
+
+
+def small_instance(seed, n=2, size=6, d=2):
+    rng = np.random.default_rng(seed)
+    relations = [
+        Relation(
+            f"R{i}", rng.uniform(0.1, 1.0, size), rng.normal(size=(size, d)),
+            sigma_max=1.0,
+        )
+        for i in range(n)
+    ]
+    return relations, rng.normal(size=d)
+
+
+class TestNumericTightBoundEngine:
+    def test_margin_validation(self):
+        with pytest.raises(ValueError):
+            NumericTightBound(margin=-0.1)
+
+    @pytest.mark.parametrize("kind", [AccessKind.DISTANCE, AccessKind.SCORE])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_euclidean_matches_oracle(self, kind, seed):
+        relations, query = small_instance(seed)
+        scoring = EuclideanLogScoring()
+        expected = brute_force_topk(relations, scoring, query, 3)
+        result = ProxRJ(
+            relations, scoring, kind=kind, query=query,
+            bound=NumericTightBound(), pull=RoundRobin(), k=3,
+        ).run()
+        assert [c.key for c in result.combinations] == [c.key for c in expected]
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_cosine_matches_oracle_score_access(self, seed):
+        relations, query = small_instance(seed, d=3)
+        scoring = CosineProximityScoring()
+        expected = brute_force_topk(relations, scoring, query, 2)
+        result = ProxRJ(
+            relations, scoring, kind=AccessKind.SCORE, query=query,
+            bound=NumericTightBound(), pull=RoundRobin(), k=2,
+        ).run()
+        assert [c.key for c in result.combinations] == [c.key for c in expected]
+
+    def test_counters_populated(self):
+        relations, query = small_instance(5)
+        bound = NumericTightBound()
+        ProxRJ(
+            relations, EuclideanLogScoring(), kind=AccessKind.SCORE,
+            query=query, bound=bound, pull=RoundRobin(), k=2,
+        ).run()
+        assert bound.counters.updates > 0
+        assert bound.counters.entries_created > 0
+        assert bound.counters.bound_seconds > 0

@@ -1,0 +1,339 @@
+"""Golden tests: every number the paper works out by hand.
+
+Table 1 (aggregate scores), Example 3.1 (corner vs tight bound), Table 3
+(all 15 partial-combination bounds), Example 3.2 (the QP reduction), and
+the counterexample instances of Theorem 3.1 / Theorem C.1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AccessKind,
+    CornerBound,
+    EuclideanLogScoring,
+    Relation,
+    RoundRobin,
+    TightBound,
+    ProxRJ,
+    brute_force_topk,
+)
+from repro.core.access import open_streams
+from repro.core.bounds.base import EngineState
+from repro.core.bounds.geometry import solve_completion
+from repro.core.buffers import TopKBuffer
+
+Q = np.zeros(2)
+SCORING = EuclideanLogScoring(w_s=1.0, w_q=1.0, w_mu=1.0)
+
+
+def table1_relations(*, padded: bool = False) -> list[Relation]:
+    """The three relations of Table 1.
+
+    Table 1 shows two tuples per relation followed by "...": the relations
+    are *not* exhausted at depth 2.  ``padded=True`` appends one distant
+    low-score tuple per relation (never in any top-8 and never pulled by
+    the tests) so that bound computations treat depth 2 as a prefix, as
+    the paper does.
+    """
+    far = [[50.0, 50.0]]
+    pad_score = [0.1]
+    r1 = Relation(
+        "R1",
+        [0.5, 1.0] + (pad_score if padded else []),
+        [[0.0, -0.5], [0.0, 1.0]] + (far if padded else []),
+        sigma_max=1.0,
+    )
+    r2 = Relation(
+        "R2",
+        [1.0, 0.8] + (pad_score if padded else []),
+        [[1.0, 1.0], [-2.0, 2.0]] + (far if padded else []),
+        sigma_max=1.0,
+    )
+    r3 = Relation(
+        "R3",
+        [1.0, 0.4] + (pad_score if padded else []),
+        [[-1.0, 1.0], [-2.0, -2.0]] + (far if padded else []),
+        sigma_max=1.0,
+    )
+    return [r1, r2, r3]
+
+
+class TestTable1Scores:
+    """The 8 aggregate scores of Table 1 under eq. (2)."""
+
+    # (tid1, tid2, tid3) -> S(tau); paper rounds to one decimal.
+    EXPECTED = {
+        (1, 0, 0): -7.0,
+        (0, 0, 0): -8.4,
+        (1, 1, 0): -13.9,
+        (0, 1, 0): -16.3,
+        (0, 0, 1): -21.0,
+        (1, 0, 1): -22.6,
+        (0, 1, 1): -28.9,
+        (1, 1, 1): -29.5,
+    }
+
+    @pytest.mark.parametrize("key,expected", sorted(EXPECTED.items()))
+    def test_combination_score(self, key, expected):
+        r1, r2, r3 = table1_relations()
+        tuples = (r1[key[0]], r2[key[1]], r3[key[2]])
+        assert SCORING.score_combination(tuples, Q) == pytest.approx(expected, abs=0.05)
+
+    def test_brute_force_ranking_matches_table(self):
+        combos = brute_force_topk(table1_relations(), SCORING, Q, k=8)
+        assert [c.key for c in combos] == sorted(
+            self.EXPECTED, key=self.EXPECTED.__getitem__, reverse=True
+        )
+
+
+def _state_after_two_pulls_each() -> EngineState:
+    """Engine state matching Table 1: two tuples pulled from each relation
+    (distance order from q = 0)."""
+    relations = table1_relations(padded=True)
+    streams = open_streams(relations, AccessKind.DISTANCE, Q)
+    state = EngineState(
+        scoring=SCORING,
+        kind=AccessKind.DISTANCE,
+        query=Q,
+        streams=streams,
+        k=1,
+        output=TopKBuffer(1),
+    )
+    return state
+
+
+class TestExample31CornerBound:
+    """Example 3.1: t_c = max{-5, -10.25, -10.25} = -5."""
+
+    def test_corner_bound_value(self):
+        state = _state_after_two_pulls_each()
+        bound = CornerBound()
+        t = float("inf")
+        for _ in range(2):
+            for i, s in enumerate(state.streams):
+                tau = s.next()
+                t = bound.update(state, i, tau)
+        assert t == pytest.approx(-5.0)
+        pots = bound.potentials(state)
+        assert pots[0] == pytest.approx(-5.0)
+        assert pots[1] == pytest.approx(-10.25)
+        assert pots[2] == pytest.approx(-10.25)
+
+    def test_corner_bound_cannot_certify_top1(self):
+        # The best seen combination scores -7 < t_c = -5: not certifiable.
+        state = _state_after_two_pulls_each()
+        bound = CornerBound()
+        t = float("inf")
+        for _ in range(2):
+            for i, s in enumerate(state.streams):
+                t = bound.update(state, i, s.next())
+        best_seen = -7.0
+        assert t > best_seen
+
+
+class TestTable3TightBound:
+    """All 15 partial-combination bounds t(tau) and the subset maxima."""
+
+    # Access order within each relation is by distance from q=0, and for
+    # Table 1 that matches tid order, so tids equal access ranks here.
+    CASES = [
+        # (seen {rel: tid}, expected t(tau))
+        ({}, -19.2),
+        ({0: 0}, -20.6),
+        ({0: 1}, -19.2),
+        ({1: 0}, -12.8),
+        ({1: 1}, -19.4),
+        ({2: 0}, -12.8),
+        ({2: 1}, -20.1),
+        ({0: 0, 1: 0}, -16.0),
+        ({0: 0, 1: 1}, -24.0),
+        ({0: 1, 1: 0}, -13.5),
+        ({0: 1, 1: 1}, -20.4),
+        ({0: 0, 2: 0}, -16.0),
+        ({0: 0, 2: 1}, -22.0),
+        ({0: 1, 2: 0}, -13.5),
+        ({0: 1, 2: 1}, -26.4),
+        ({1: 0, 2: 0}, -7.0),
+        ({1: 0, 2: 1}, -21.0),
+        ({1: 1, 2: 0}, -13.1),
+        ({1: 1, 2: 1}, -26.8),
+    ]
+
+    DELTAS = {0: 1.0, 1: 2 * np.sqrt(2.0), 2: 2 * np.sqrt(2.0)}
+
+    @pytest.mark.parametrize("seen_spec,expected", CASES)
+    def test_partial_combination_bound(self, seen_spec, expected):
+        relations = table1_relations()
+        seen = {
+            rel: (relations[rel][tid].score, np.asarray(relations[rel][tid].vector))
+            for rel, tid in seen_spec.items()
+        }
+        unseen = {j: self.DELTAS[j] for j in range(3) if j not in seen_spec}
+        sigma = {j: 1.0 for j in unseen}
+        result = solve_completion(SCORING, 3, Q, seen, unseen, sigma)
+        assert result.value == pytest.approx(expected, abs=0.05)
+
+    def test_global_tight_bound_is_minus_seven(self):
+        """Example 3.1: the tight bound after Table 1's pulls is -7,
+        certifying tau_1^(2) x tau_2^(1) x tau_3^(1) as top-1."""
+        state = _state_after_two_pulls_each()
+        bound = TightBound()
+        t = float("inf")
+        for _ in range(2):
+            for i, s in enumerate(state.streams):
+                t = bound.update(state, i, s.next())
+        assert t == pytest.approx(-7.0, abs=0.01)
+
+    def test_tight_potentials(self):
+        """pot_i = max over subsets excluding i: pot_1 = t_{2,3} = -7."""
+        state = _state_after_two_pulls_each()
+        bound = TightBound()
+        for _ in range(2):
+            for i, s in enumerate(state.streams):
+                bound.update(state, i, s.next())
+        pots = bound.potentials(state)
+        assert pots[0] == pytest.approx(-7.0, abs=0.01)
+        assert pots[1] == pytest.approx(-12.8, abs=0.05)
+        assert pots[2] == pytest.approx(-12.8, abs=0.05)
+
+
+class TestExample32QPReduction:
+    """Example 3.2: the worked solution of problem (12) via (14)."""
+
+    def test_partial_tau21(self):
+        relations = table1_relations()
+        seen = {1: (1.0, np.array([1.0, 1.0]))}
+        unseen = {0: 1.0, 2: 2 * np.sqrt(2.0)}
+        sigma = {0: 1.0, 2: 1.0}
+        result = solve_completion(SCORING, 3, Q, seen, unseen, sigma)
+        assert result.value == pytest.approx(-12.8, abs=0.05)
+        np.testing.assert_allclose(
+            result.positions[0], [np.sqrt(2) / 2, np.sqrt(2) / 2], atol=1e-6
+        )
+        np.testing.assert_allclose(result.positions[2], [2.0, 2.0], atol=1e-6)
+
+    def test_partial_tau11_x_tau31(self):
+        relations = table1_relations()
+        seen = {
+            0: (0.5, np.array([0.0, -0.5])),
+            2: (1.0, np.array([-1.0, 1.0])),
+        }
+        unseen = {1: 2 * np.sqrt(2.0)}
+        sigma = {1: 1.0}
+        result = solve_completion(SCORING, 3, Q, seen, unseen, sigma)
+        # theta projections: -0.22 and 1.34; theta_2* = 2 sqrt 2.
+        assert result.theta[0] == pytest.approx(-0.2236, abs=1e-3)
+        assert result.theta[2] == pytest.approx(1.3416, abs=1e-3)
+        assert result.theta[1] == pytest.approx(2 * np.sqrt(2.0), abs=1e-6)
+        np.testing.assert_allclose(result.positions[1], [-2.53, 1.26], atol=0.01)
+        assert result.value == pytest.approx(-16.0, abs=0.05)
+
+
+class TestTheorem31Counterexample:
+    """The instance from the proof of Theorem 3.1: the tight bound
+    certifies the top-1 at depths (2, 1), while the corner bound stays
+    above the answer's score no matter how much padding R1 contains."""
+
+    def _relations(self, padding: int) -> list[Relation]:
+        # w_s = 0 makes scores immaterial; pad R1 with tuples between
+        # distance 1 and sqrt(1.5) that the corner bound forces HRJN to
+        # read.
+        r1_vecs = [[0.0, -0.5], [0.0, 1.0]]
+        for i in range(padding):
+            r = 1.0 + (np.sqrt(1.5) - 1.0 - 1e-6) * (i + 1) / (padding + 1)
+            r1_vecs.append([r, 0.0])
+        r1_vecs.append([2.0, 0.0])  # one tuple past sqrt(1.5)
+        r1 = Relation("R1", [1.0] * len(r1_vecs), r1_vecs)
+        r2 = Relation("R2", [1.0, 1.0], [[0.0, 2.0], [-2.0, 2.0]])
+        return [r1, r2]
+
+    def _scoring(self):
+        return EuclideanLogScoring(w_s=0.0, w_q=1.0, w_mu=1.0)
+
+    def test_top1_score(self):
+        relations = self._relations(padding=0)
+        combos = brute_force_topk(relations, self._scoring(), Q, k=1)
+        assert combos[0].score == pytest.approx(-5.5)
+        assert combos[0].key == (1, 0)
+
+    @pytest.mark.parametrize("padding", [0, 5, 20])
+    def test_tight_bound_depth_is_constant(self, padding):
+        relations = self._relations(padding)
+        engine = ProxRJ(
+            relations,
+            self._scoring(),
+            kind=AccessKind.DISTANCE,
+            query=Q,
+            bound=TightBound(),
+            pull=RoundRobin(),
+            k=1,
+        )
+        result = engine.run()
+        assert result.combinations[0].score == pytest.approx(-5.5)
+        # Tight bound stops without reading the padding.
+        assert result.depths[0] <= 3
+
+    @pytest.mark.parametrize("padding", [0, 5, 20])
+    def test_corner_bound_depth_grows_with_padding(self, padding):
+        relations = self._relations(padding)
+        engine = ProxRJ(
+            relations,
+            self._scoring(),
+            kind=AccessKind.DISTANCE,
+            query=Q,
+            bound=CornerBound(),
+            pull=RoundRobin(),
+            k=1,
+        )
+        result = engine.run()
+        assert result.combinations[0].score == pytest.approx(-5.5)
+        # HRJN must read past all the padding in R1 before t_c <= -5.5.
+        assert result.depths[0] >= padding + 3
+
+
+class TestTheoremC1Counterexample:
+    """Score-access analogue: the corner bound (36) cannot certify the
+    top-1 until the score drops below e^{-4/3}, while the tight bound
+    stops immediately."""
+
+    def _relations(self, padding: int) -> list[Relation]:
+        r1 = Relation(
+            "R1", [1.0, np.exp(-5.0)], [[1.0], [0.0]], sigma_max=1.0
+        )
+        scores2 = [1.0, 1.0]
+        vecs2 = [[1.0], [1.0 / 3.0]]
+        for i in range(padding):
+            # Scores strictly between e^{-4/3} and 1, far away in space.
+            scores2.append(float(np.exp(-1.0)) - i * 1e-6)
+            vecs2.append([10.0])
+        scores2.append(float(np.exp(-4.0 / 3.0)) - 1e-3)
+        vecs2.append([10.0])
+        r2 = Relation("R2", scores2, vecs2, sigma_max=1.0)
+        return [r1, r2]
+
+    def _scoring(self):
+        return EuclideanLogScoring(1.0, 1.0, 1.0)
+
+    def test_top1_is_minus_four_thirds(self):
+        relations = self._relations(0)
+        combos = brute_force_topk(relations, self._scoring(), np.zeros(1), k=1)
+        assert combos[0].score == pytest.approx(-4.0 / 3.0)
+
+    @pytest.mark.parametrize("padding", [0, 10])
+    def test_corner_reads_the_padding_but_tight_does_not(self, padding):
+        relations = self._relations(padding)
+        corner = ProxRJ(
+            relations, self._scoring(), kind=AccessKind.SCORE,
+            query=np.zeros(1), bound=CornerBound(), pull=RoundRobin(), k=1,
+        ).run()
+        tight = ProxRJ(
+            relations, self._scoring(), kind=AccessKind.SCORE,
+            query=np.zeros(1), bound=TightBound(), pull=RoundRobin(), k=1,
+        ).run()
+        assert corner.combinations[0].score == pytest.approx(-4.0 / 3.0)
+        assert tight.combinations[0].score == pytest.approx(-4.0 / 3.0)
+        assert tight.depths[1] <= 3
+        if padding:
+            assert corner.depths[1] >= padding + 2
+            assert corner.sum_depths > tight.sum_depths

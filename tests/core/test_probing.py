@@ -1,0 +1,111 @@
+"""Tests for the random-access (anchor-and-probe) extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AccessKind,
+    CosineProximityScoring,
+    EuclideanLogScoring,
+    Relation,
+    brute_force_topk,
+    make_algorithm,
+)
+from repro.core.probing import ProbeRankJoin
+
+
+def random_instance(seed, n_rel=2, size=25, d=2):
+    rng = np.random.default_rng(seed)
+    relations = [
+        Relation(
+            f"R{i}", rng.uniform(0.05, 1.0, size), rng.uniform(-2, 2, (size, d)),
+            sigma_max=1.0,
+        )
+        for i in range(n_rel)
+    ]
+    return relations, rng.uniform(-1, 1, d)
+
+
+class TestValidation:
+    def test_needs_two_relations(self):
+        relations, query = random_instance(0, n_rel=1)
+        with pytest.raises(ValueError, match="two relations"):
+            ProbeRankJoin(relations, EuclideanLogScoring(), query, 1)
+
+    def test_needs_quadratic_scoring(self):
+        relations, query = random_instance(0)
+        with pytest.raises(TypeError, match="QuadraticFormScoring"):
+            ProbeRankJoin(relations, CosineProximityScoring(), query, 1)
+
+    def test_bad_k(self):
+        relations, query = random_instance(0)
+        with pytest.raises(ValueError, match="K"):
+            ProbeRankJoin(relations, EuclideanLogScoring(), query, 0)
+
+
+class TestCorrectness:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(2, 3),
+        st.integers(1, 5),
+        st.randoms(use_true_random=False),
+    )
+    def test_matches_oracle(self, n_rel, k, rnd):
+        seed = rnd.randint(0, 2**32 - 1)
+        relations, query = random_instance(seed, n_rel=n_rel, size=12)
+        scoring = EuclideanLogScoring(1.0, 1.0, 1.0)
+        expected = brute_force_topk(relations, scoring, query, k)
+        result = ProbeRankJoin(relations, scoring, query, k).run()
+        assert [c.score for c in result.combinations] == pytest.approx(
+            [c.score for c in expected]
+        )
+
+    @pytest.mark.parametrize("weights", [(1.0, 2.0, 0.5), (0.0, 1.0, 1.0)])
+    def test_weight_variants(self, weights):
+        relations, query = random_instance(7, size=15)
+        scoring = EuclideanLogScoring(*weights)
+        expected = brute_force_topk(relations, scoring, query, 3)
+        result = ProbeRankJoin(relations, scoring, query, 3).run()
+        assert [c.score for c in result.combinations] == pytest.approx(
+            [c.score for c in expected]
+        )
+
+    def test_zero_wmu_disables_radius_pruning_but_stays_correct(self):
+        relations, query = random_instance(8, size=10)
+        scoring = EuclideanLogScoring(1.0, 1.0, 0.0)
+        expected = brute_force_topk(relations, scoring, query, 3)
+        result = ProbeRankJoin(relations, scoring, query, 3).run()
+        assert [c.score for c in result.combinations] == pytest.approx(
+            [c.score for c in expected]
+        )
+
+
+class TestAccessAccounting:
+    def test_counts_populated(self):
+        relations, query = random_instance(9, size=30)
+        result = ProbeRankJoin(relations, EuclideanLogScoring(), query, 3).run()
+        assert result.sorted_accesses >= 1
+        assert result.probes >= result.sorted_accesses
+        assert result.total_accesses == result.sorted_accesses + result.random_accesses
+
+    def test_anchor_side_reads_less_than_sorted_only(self):
+        """The whole point of random access: with a strong mutual-
+        proximity weight, probes keep the anchor depth below what the
+        sorted-only algorithms need in total."""
+        rng = np.random.default_rng(10)
+        # Clustered data: co-located pairs exist, so the probe finds the
+        # winners quickly and the radius collapses.
+        from repro.data import clustered_problem
+
+        relations, query = clustered_problem(n_tuples=200, seed=10)
+        scoring = EuclideanLogScoring(1.0, 1.0, 4.0)
+        probe = ProbeRankJoin(relations, scoring, query, 5).run()
+        sorted_only = make_algorithm(
+            "TBPA", relations, scoring, query, 5, kind=AccessKind.DISTANCE
+        ).run()
+        assert [c.score for c in probe.combinations] == pytest.approx(
+            [c.score for c in sorted_only.combinations]
+        )
+        assert probe.sorted_accesses < sorted_only.sum_depths

@@ -1,0 +1,89 @@
+"""Unit tests for the tuple/relation/combination model."""
+
+import numpy as np
+import pytest
+
+from repro.core import Combination, RankTuple, Relation
+
+
+class TestRankTuple:
+    def test_vector_is_read_only(self):
+        t = RankTuple("R", 0, 0.5, np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            t.vector[0] = 9.0
+
+    def test_equality_is_identity_based(self):
+        a = RankTuple("R", 0, 0.5, [1.0])
+        b = RankTuple("R", 0, 0.9, [2.0])  # same identity, different payload
+        c = RankTuple("S", 0, 0.5, [1.0])
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_repr_mentions_identity(self):
+        t = RankTuple("hotels", 3, 0.25, [0.0, 1.0])
+        assert "hotels#3" in repr(t)
+
+    def test_attrs_default_empty(self):
+        t = RankTuple("R", 0, 0.5, [1.0])
+        assert t.attrs == {}
+
+
+class TestRelation:
+    def test_length_and_indexing(self):
+        r = Relation("R", [0.1, 0.9], [[0.0], [1.0]])
+        assert len(r) == 2
+        assert r[1].score == 0.9
+        assert [t.tid for t in r] == [0, 1]
+
+    def test_dim(self):
+        r = Relation("R", [0.5], [[1.0, 2.0, 3.0]])
+        assert r.dim == 3
+
+    def test_sigma_max_defaults_to_observed(self):
+        r = Relation("R", [0.3, 0.7], [[0.0], [1.0]])
+        assert r.sigma_max == 0.7
+
+    def test_sigma_max_explicit(self):
+        r = Relation("R", [0.3], [[0.0]], sigma_max=1.0)
+        assert r.sigma_max == 1.0
+
+    def test_sigma_max_below_observed_rejected(self):
+        with pytest.raises(ValueError, match="sigma_max"):
+            Relation("R", [0.9], [[0.0]], sigma_max=0.5)
+
+    def test_score_vector_count_mismatch(self):
+        with pytest.raises(ValueError, match="scores"):
+            Relation("R", [0.1], [[0.0], [1.0]])
+
+    def test_attrs_count_mismatch(self):
+        with pytest.raises(ValueError, match="attrs"):
+            Relation("R", [0.1, 0.2], [[0.0], [1.0]], attrs=[{}])
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Relation("R", [], np.zeros((0, 2)))
+
+    def test_from_tuples(self):
+        r = Relation.from_tuples("R", [(0.5, [1.0, 2.0]), (0.8, [3.0, 4.0])])
+        assert len(r) == 2
+        np.testing.assert_allclose(r[1].vector, [3.0, 4.0])
+
+    def test_attrs_propagate(self):
+        r = Relation("R", [0.5], [[0.0]], attrs=[{"name": "x"}])
+        assert r[0].attrs["name"] == "x"
+
+
+class TestCombination:
+    def test_key_is_tid_tuple(self):
+        tuples = (
+            RankTuple("A", 4, 0.1, [0.0]),
+            RankTuple("B", 7, 0.2, [1.0]),
+        )
+        c = Combination(tuples, score=-1.5)
+        assert c.key == (4, 7)
+
+    def test_repr(self):
+        c = Combination((RankTuple("A", 0, 0.1, [0.0]),), score=-2.0)
+        assert "A#0" in repr(c)
+        assert "-2" in repr(c)

@@ -1,0 +1,120 @@
+"""Unit and property tests for the aggregation functions (Section 2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CosineProximityScoring,
+    EuclideanLogScoring,
+    LinearScoring,
+    RankTuple,
+)
+
+pos_scores = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+dists = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+
+class TestEuclideanLogScoring:
+    def test_weighted_score_formula(self):
+        s = EuclideanLogScoring(w_s=2.0, w_q=3.0, w_mu=5.0)
+        got = s.weighted_score(0, math.e, 2.0, 1.0)
+        assert got == pytest.approx(2.0 * 1.0 - 3.0 * 4.0 - 5.0 * 1.0)
+
+    def test_aggregate_is_sum(self):
+        s = EuclideanLogScoring()
+        assert s.aggregate([1.0, 2.0, -4.0]) == pytest.approx(-1.0)
+
+    def test_nonpositive_score_rejected(self):
+        s = EuclideanLogScoring()
+        with pytest.raises(ValueError, match="positive"):
+            s.score_utility(0.0)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            EuclideanLogScoring(w_s=-1.0)
+
+    def test_centroid_is_mean(self):
+        s = EuclideanLogScoring()
+        np.testing.assert_allclose(
+            s.centroid([[0.0, 0.0], [2.0, 4.0]]), [1.0, 2.0]
+        )
+
+    def test_score_combination_single_tuple(self):
+        # n = 1: mu = x, so the centroid term vanishes.
+        s = EuclideanLogScoring()
+        t = RankTuple("R", 0, 1.0, [3.0, 4.0])
+        assert s.score_combination([t], np.zeros(2)) == pytest.approx(-25.0)
+
+    @settings(max_examples=50)
+    @given(pos_scores, pos_scores, dists, dists)
+    def test_monotone_in_score(self, s1, s2, dq, dm):
+        scoring = EuclideanLogScoring()
+        lo, hi = sorted([s1, s2])
+        assert scoring.weighted_score(0, lo, dq, dm) <= scoring.weighted_score(
+            0, hi, dq, dm
+        )
+
+    @settings(max_examples=50)
+    @given(pos_scores, dists, dists, dists)
+    def test_non_increasing_in_distances(self, sc, d1, d2, dm):
+        scoring = EuclideanLogScoring()
+        lo, hi = sorted([d1, d2])
+        assert scoring.weighted_score(0, sc, hi, dm) <= scoring.weighted_score(
+            0, sc, lo, dm
+        )
+        assert scoring.weighted_score(0, sc, dm, hi) <= scoring.weighted_score(
+            0, sc, dm, lo
+        )
+
+    def test_table1_value(self):
+        """Cross-check one Table 1 score end to end."""
+        scoring = EuclideanLogScoring(1.0, 1.0, 1.0)
+        tuples = [
+            RankTuple("R1", 1, 1.0, [0.0, 1.0]),
+            RankTuple("R2", 0, 1.0, [1.0, 1.0]),
+            RankTuple("R3", 0, 1.0, [-1.0, 1.0]),
+        ]
+        assert scoring.score_combination(tuples, np.zeros(2)) == pytest.approx(-7.0)
+
+
+class TestLinearScoring:
+    def test_utility_is_identity(self):
+        s = LinearScoring()
+        assert s.score_utility(0.37) == 0.37
+
+    def test_zero_scores_allowed(self):
+        s = LinearScoring()
+        assert s.weighted_score(0, 0.0, 1.0, 1.0) == pytest.approx(-2.0)
+
+
+class TestCosineProximityScoring:
+    def test_distance_is_cosine(self):
+        s = CosineProximityScoring()
+        assert s.distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_weighted_score_linear_in_distances(self):
+        s = CosineProximityScoring(w_s=1.0, w_q=2.0, w_mu=3.0)
+        assert s.weighted_score(0, 0.5, 0.25, 0.5) == pytest.approx(
+            0.5 - 0.5 - 1.5
+        )
+
+    def test_centroid_is_normalised(self):
+        s = CosineProximityScoring()
+        c = s.centroid([[2.0, 0.0], [0.0, 4.0]])
+        assert np.linalg.norm(c) == pytest.approx(1.0)
+        assert c[0] == pytest.approx(c[1])
+
+    def test_not_flagged_for_quadratic_bound(self):
+        assert CosineProximityScoring().supports_quadratic_bound is False
+        assert EuclideanLogScoring().supports_quadratic_bound is True
+
+    def test_score_combination_prefers_aligned(self):
+        s = CosineProximityScoring()
+        q = np.array([1.0, 0.0])
+        near = [RankTuple("A", 0, 0.9, [2.0, 0.1]), RankTuple("B", 0, 0.9, [3.0, 0.0])]
+        far = [RankTuple("A", 1, 0.9, [0.0, 2.0]), RankTuple("B", 1, 0.9, [-1.0, 0.0])]
+        assert s.score_combination(near, q) > s.score_combination(far, q)

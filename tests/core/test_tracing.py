@@ -1,0 +1,104 @@
+"""Tests for the execution-trace decorator."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AccessKind,
+    CornerBound,
+    EuclideanLogScoring,
+    ProxRJ,
+    Relation,
+    RoundRobin,
+    TightBound,
+)
+from repro.core.tracing import TraceBound
+
+
+def run_traced(bound, seed=0, k=3, size=15):
+    rng = np.random.default_rng(seed)
+    relations = [
+        Relation(
+            f"R{i}", rng.uniform(0.05, 1, size), rng.uniform(-2, 2, (size, 2)),
+            sigma_max=1.0,
+        )
+        for i in range(2)
+    ]
+    traced = TraceBound(bound)
+    engine = ProxRJ(
+        relations, EuclideanLogScoring(), kind=AccessKind.DISTANCE,
+        query=np.zeros(2), bound=traced, pull=RoundRobin(), k=k,
+    )
+    return engine.run(), traced
+
+
+class TestTraceBound:
+    def test_transparent_results(self):
+        result_plain, _ = run_traced(TightBound(), seed=1)
+        # Fresh engine without tracing must match exactly.
+        rng = np.random.default_rng(1)
+        relations = [
+            Relation(
+                f"R{i}", rng.uniform(0.05, 1, 15), rng.uniform(-2, 2, (15, 2)),
+                sigma_max=1.0,
+            )
+            for i in range(2)
+        ]
+        engine = ProxRJ(
+            relations, EuclideanLogScoring(), kind=AccessKind.DISTANCE,
+            query=np.zeros(2), bound=TightBound(), pull=RoundRobin(), k=3,
+        )
+        result_ref = engine.run()
+        assert [c.key for c in result_plain.combinations] == [
+            c.key for c in result_ref.combinations
+        ]
+        assert result_plain.depths == result_ref.depths
+
+    def test_trace_length_equals_pulls(self):
+        result, traced = run_traced(TightBound())
+        assert len(traced.trace) == result.sum_depths
+
+    def test_bound_series_non_increasing(self):
+        _, traced = run_traced(TightBound())
+        series = traced.trace.bound_series()
+        assert all(b <= a + 1e-9 for a, b in zip(series, series[1:]))
+
+    def test_kth_series_non_decreasing(self):
+        _, traced = run_traced(TightBound())
+        series = traced.trace.kth_series()
+        finite = [s for s in series if s != float("-inf")]
+        assert all(b >= a - 1e-9 for a, b in zip(finite, finite[1:]))
+
+    def test_stop_step_is_final_pull(self):
+        result, traced = run_traced(TightBound())
+        # The engine stops right when certification first holds, so the
+        # certified step is the last event.
+        assert traced.trace.stop_step == len(traced.trace)
+
+    def test_corner_stops_later_than_tight(self):
+        _, tight = run_traced(TightBound(), seed=3)
+        _, corner = run_traced(CornerBound(), seed=3)
+        assert len(corner.trace) >= len(tight.trace)
+
+    def test_pulls_per_relation_sums(self):
+        result, traced = run_traced(TightBound(), seed=4)
+        per_rel = traced.trace.pulls_per_relation()
+        assert sum(per_rel.values()) == result.sum_depths
+
+    def test_render_contains_certification(self):
+        _, traced = run_traced(TightBound(), seed=5)
+        text = traced.trace.render()
+        assert "certified" in text
+        assert "stopping condition first held" in text
+
+    def test_render_thinning(self):
+        _, traced = run_traced(TightBound(), seed=6)
+        full = traced.trace.render()
+        thin = traced.trace.render(every=5)
+        assert len(thin) <= len(full)
+
+    def test_counters_delegate_to_inner(self):
+        inner = TightBound()
+        _, traced = run_traced(inner)
+        assert traced.counters is inner.counters
+        assert inner.counters.qp_solves > 0

@@ -1,0 +1,101 @@
+"""Tests for the city POI datasets (Appendix D.2 substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.data import CITIES, city_names, city_problem
+
+
+class TestCityCatalogue:
+    def test_five_cities_in_paper_order(self):
+        assert city_names() == ["SF", "NY", "BO", "DA", "HO"]
+
+    def test_layouts_complete(self):
+        for code, layout in CITIES.items():
+            assert layout.code == code
+            assert set(layout.counts) == {"hotels", "restaurants", "theaters"}
+            assert layout.districts
+            assert all(len(d) == 4 for d in layout.districts)
+
+    def test_unknown_city(self):
+        with pytest.raises(KeyError, match="SF"):
+            city_problem("XX")
+
+    def test_case_insensitive(self):
+        rels_a, _ = city_problem("sf")
+        rels_b, _ = city_problem("SF")
+        assert [len(r) for r in rels_a] == [len(r) for r in rels_b]
+
+
+class TestCityProblem:
+    @pytest.mark.parametrize("code", ["SF", "NY", "BO", "DA", "HO"])
+    def test_three_typed_relations(self, code):
+        relations, query = city_problem(code)
+        assert [r.name for r in relations] == ["hotels", "restaurants", "theaters"]
+        assert all(r.dim == 2 for r in relations)
+        assert query.shape == (2,)
+
+    def test_counts_match_layout(self):
+        relations, _ = city_problem("SF")
+        layout = CITIES["SF"]
+        for rel in relations:
+            assert len(rel) == layout.counts[rel.name]
+
+    def test_restaurants_outnumber_theaters(self):
+        for code in city_names():
+            relations, _ = city_problem(code)
+            by_name = {r.name: len(r) for r in relations}
+            assert by_name["restaurants"] > by_name["hotels"] > by_name["theaters"]
+
+    def test_ratings_are_valid_scores(self):
+        relations, _ = city_problem("NY")
+        for rel in relations:
+            scores = [t.score for t in rel]
+            assert min(scores) >= 0.05
+            assert max(scores) <= 1.0
+            assert rel.sigma_max == 1.0
+
+    def test_deterministic_snapshot(self):
+        a, qa = city_problem("BO")
+        b, qb = city_problem("BO")
+        np.testing.assert_allclose(qa, qb)
+        for ra, rb in zip(a, b):
+            np.testing.assert_allclose(
+                [t.score for t in ra], [t.score for t in rb]
+            )
+            np.testing.assert_allclose(
+                np.array([t.vector for t in ra]), np.array([t.vector for t in rb])
+            )
+
+    def test_attrs_have_names_and_types(self):
+        relations, _ = city_problem("HO")
+        for rel in relations:
+            t = rel[0]
+            assert t.attrs["type"] == rel.name
+            assert t.attrs["name"]
+
+    def test_points_cluster_near_districts(self):
+        relations, _ = city_problem("DA")
+        layout = CITIES["DA"]
+        centres = np.array([[d[0], d[1]] for d in layout.districts])
+        pts = np.array([t.vector for t in relations[1]])  # restaurants
+        dists = np.linalg.norm(pts[:, None, :] - centres[None, :, :], axis=2).min(axis=1)
+        # Most points within a few spreads of some district centre.
+        assert np.quantile(dists, 0.9) < 6.0
+
+    def test_runs_end_to_end(self):
+        """The paper's Figure 3(i) workload shape: TBPA beats CBPA on I/O."""
+        from repro.core import AccessKind, EuclideanLogScoring, make_algorithm
+
+        relations, query = city_problem("SF")
+        scoring = EuclideanLogScoring()
+        cb = make_algorithm(
+            "CBPA", relations, scoring, query, 10, kind=AccessKind.DISTANCE
+        ).run()
+        tb = make_algorithm(
+            "TBPA", relations, scoring, query, 10, kind=AccessKind.DISTANCE
+        ).run()
+        assert [c.score for c in cb.combinations] == pytest.approx(
+            [c.score for c in tb.combinations]
+        )
+        assert tb.sum_depths <= cb.sum_depths

@@ -1,0 +1,140 @@
+"""Tests for dataset persistence and the adversarial generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import AccessKind, EuclideanLogScoring, brute_force_topk, make_algorithm
+from repro.data import (
+    anticorrelated_problem,
+    city_problem,
+    clustered_problem,
+    correlated_problem,
+    generate_problem,
+    load_problem_npz,
+    load_relation_csv,
+    save_problem_npz,
+    save_relation_csv,
+    SyntheticConfig,
+)
+
+
+class TestCSVRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        relations, _ = city_problem("SF")
+        rel = relations[2]  # theaters, has attrs
+        path = tmp_path / "theaters.csv"
+        save_relation_csv(rel, path)
+        back = load_relation_csv(path)
+        assert back.name == rel.name
+        assert back.sigma_max == rel.sigma_max
+        assert len(back) == len(rel)
+        np.testing.assert_array_equal(
+            [t.score for t in back], [t.score for t in rel]
+        )
+        np.testing.assert_array_equal(
+            np.array([t.vector for t in back]), np.array([t.vector for t in rel])
+        )
+        assert back[0].attrs == rel[0].attrs
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("score,x0\n0.5,1.0\n")
+        with pytest.raises(ValueError, match="header"):
+            load_relation_csv(path)
+
+    def test_relation_without_attrs(self, tmp_path):
+        relations, _ = generate_problem(SyntheticConfig(n_tuples=10))
+        path = tmp_path / "r.csv"
+        save_relation_csv(relations[0], path)
+        back = load_relation_csv(path)
+        assert len(back) == 10
+        assert back[3].attrs == {}
+
+
+class TestNPZRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        relations, query = city_problem("BO")
+        path = tmp_path / "boston.npz"
+        save_problem_npz(relations, query, path)
+        back_rels, back_query = load_problem_npz(path)
+        np.testing.assert_allclose(back_query, query)
+        assert [r.name for r in back_rels] == [r.name for r in relations]
+        for a, b in zip(relations, back_rels):
+            assert a.sigma_max == b.sigma_max
+            np.testing.assert_array_equal(
+                np.array([t.vector for t in a]), np.array([t.vector for t in b])
+            )
+            assert a[0].attrs == b[0].attrs
+
+    def test_loaded_problem_gives_identical_results(self, tmp_path):
+        relations, query = generate_problem(SyntheticConfig(n_tuples=40, seed=5))
+        path = tmp_path / "p.npz"
+        save_problem_npz(relations, query, path)
+        back_rels, back_query = load_problem_npz(path)
+        scoring = EuclideanLogScoring()
+        a = make_algorithm(
+            "TBPA", relations, scoring, query, 5, kind=AccessKind.DISTANCE
+        ).run()
+        b = make_algorithm(
+            "TBPA", back_rels, scoring, back_query, 5, kind=AccessKind.DISTANCE
+        ).run()
+        assert [c.key for c in a.combinations] == [c.key for c in b.combinations]
+        assert a.depths == b.depths
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "factory", [clustered_problem, correlated_problem, anticorrelated_problem]
+    )
+    def test_shapes_and_validity(self, factory):
+        relations, query = factory(n_relations=3, dims=4, n_tuples=50, seed=1)
+        assert len(relations) == 3
+        assert all(r.dim == 4 for r in relations)
+        assert query.shape == (4,)
+        for rel in relations:
+            for t in rel:
+                assert 0.05 <= t.score <= 1.0
+
+    def test_correlation_signs(self):
+        (corr_rels, q) = correlated_problem(n_tuples=400, seed=2, noise=0.02)
+        (anti_rels, _) = anticorrelated_problem(n_tuples=400, seed=2, noise=0.02)
+
+        def corrcoef(rel):
+            d = np.array([np.linalg.norm(t.vector - q) for t in rel])
+            s = np.array([t.score for t in rel])
+            return np.corrcoef(d, s)[0, 1]
+
+        assert corrcoef(corr_rels[0]) < -0.8
+        assert corrcoef(anti_rels[0]) > 0.8
+
+    def test_clusters_share_centres_across_relations(self):
+        relations, _ = clustered_problem(
+            n_relations=2, n_clusters=3, cluster_spread=0.05, n_tuples=150, seed=3
+        )
+        a = np.array([t.vector for t in relations[0]])
+        b = np.array([t.vector for t in relations[1]])
+        # Every point of R2 lies close to some point of R1 (same centres).
+        d = np.linalg.norm(a[None, :, :] - b[:, None, :], axis=2).min(axis=1)
+        assert np.quantile(d, 0.95) < 0.5
+
+    @pytest.mark.parametrize(
+        "factory", [clustered_problem, correlated_problem, anticorrelated_problem]
+    )
+    def test_algorithms_agree_with_oracle(self, factory):
+        relations, query = factory(n_tuples=25, seed=4)
+        scoring = EuclideanLogScoring()
+        expected = brute_force_topk(relations, scoring, query, 4)
+        for algo in ("CBRR", "TBPA"):
+            result = make_algorithm(
+                algo, relations, scoring, query, 4, kind=AccessKind.DISTANCE
+            ).run()
+            assert [c.key for c in result.combinations] == [
+                c.key for c in expected
+            ]
+
+    def test_determinism(self):
+        a, _ = clustered_problem(seed=9, n_tuples=30)
+        b, _ = clustered_problem(seed=9, n_tuples=30)
+        np.testing.assert_array_equal(
+            [t.score for t in a[0]], [t.score for t in b[0]]
+        )

@@ -1,0 +1,101 @@
+"""Tests for the Appendix D.1 synthetic generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import SyntheticConfig, generate_problem, generate_relation
+
+
+class TestSyntheticConfig:
+    def test_defaults_are_table2_bold(self):
+        c = SyntheticConfig()
+        assert (c.n_relations, c.dims, c.density, c.skew) == (2, 2, 50.0, 1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_relations": 0},
+            {"dims": 0},
+            {"density": 0.0},
+            {"skew": 0.5},
+            {"n_tuples": 0},
+            {"score_floor": 0.0},
+            {"score_floor": 1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SyntheticConfig(**kwargs)
+
+    def test_densities_no_skew(self):
+        assert SyntheticConfig(density=40.0).densities() == [40.0, 40.0]
+
+    def test_densities_with_skew(self):
+        d1, d2 = SyntheticConfig(density=50.0, skew=4.0).densities()
+        assert d1 / d2 == pytest.approx(4.0)
+        assert d1 * d2 == pytest.approx(50.0 * 50.0)  # geometric mean kept
+
+    def test_skew_only_first_two(self):
+        ds = SyntheticConfig(n_relations=3, density=50.0, skew=4.0).densities()
+        assert ds[2] == 50.0
+
+
+class TestGenerateRelation:
+    def test_density_matches_volume(self):
+        rng = np.random.default_rng(0)
+        rel = generate_relation(
+            "R", rng, dims=2, density=50.0, n_tuples=200, score_floor=0.05
+        )
+        side = (200 / 50.0) ** 0.5
+        pts = np.array([t.vector for t in rel])
+        assert pts.min() >= -side / 2 - 1e-9
+        assert pts.max() <= side / 2 + 1e-9
+        assert len(rel) == 200
+
+    def test_scores_in_range(self):
+        rng = np.random.default_rng(1)
+        rel = generate_relation(
+            "R", rng, dims=1, density=10.0, n_tuples=100, score_floor=0.3
+        )
+        scores = [t.score for t in rel]
+        assert min(scores) >= 0.3
+        assert max(scores) <= 1.0
+        assert rel.sigma_max == 1.0
+
+
+class TestGenerateProblem:
+    def test_shapes(self):
+        relations, query = generate_problem(
+            SyntheticConfig(n_relations=3, dims=4, n_tuples=50)
+        )
+        assert len(relations) == 3
+        assert all(r.dim == 4 for r in relations)
+        assert query.shape == (4,)
+        np.testing.assert_allclose(query, 0.0)
+
+    def test_determinism(self):
+        a, _ = generate_problem(SyntheticConfig(seed=7, n_tuples=20))
+        b, _ = generate_problem(SyntheticConfig(seed=7, n_tuples=20))
+        for ra, rb in zip(a, b):
+            np.testing.assert_allclose(
+                [t.score for t in ra], [t.score for t in rb]
+            )
+
+    def test_different_seeds_differ(self):
+        a, _ = generate_problem(SyntheticConfig(seed=1, n_tuples=20))
+        b, _ = generate_problem(SyntheticConfig(seed=2, n_tuples=20))
+        assert [t.score for t in a[0]] != [t.score for t in b[0]]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 8), st.floats(10.0, 200.0))
+    def test_skew_shrinks_first_relation_region(self, n, d, rho):
+        """Higher density packs the same tuple count into a smaller cube."""
+        cfg = SyntheticConfig(
+            n_relations=max(n, 2), dims=d, density=rho, skew=4.0, n_tuples=64
+        )
+        relations, _ = generate_problem(cfg)
+        span0 = np.ptp([t.vector for t in relations[0]], axis=0).max()
+        span1 = np.ptp([t.vector for t in relations[1]], axis=0).max()
+        assert span0 <= span1 + 1e-9

@@ -1,0 +1,76 @@
+"""Smoke and shape tests for the beyond-the-paper ablation studies."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ABLATIONS,
+    ablation_bound_period,
+    ablation_probe,
+    ablation_workload,
+)
+
+
+class TestAblations:
+    def test_registry(self):
+        assert set(ABLATIONS) == {
+            "workload", "bound-period", "probe", "score-access", "approx-budget"
+        }
+
+    def test_workload_table_structure(self):
+        out = ablation_workload(k=3, seeds=1)
+        for token in ("uniform", "clustered", "correlated", "anticorrelated", "TBPA"):
+            assert token in out
+
+    def test_workload_tight_wins_everywhere(self):
+        out = ablation_workload(k=3, seeds=1)
+        for line in out.splitlines()[2:]:
+            cols = line.split()
+            cbrr, tbpa = float(cols[1]), float(cols[4])
+            assert tbpa <= cbrr
+
+    def test_bound_period_io_monotone_trend(self):
+        out = ablation_bound_period(k=3, seeds=1, periods=(1, 8))
+        rows = [l.split() for l in out.splitlines()[2:] if l.strip()]
+        depths = [float(r[1]) for r in rows]
+        # Staler bounds can only read more (never fewer) tuples.
+        assert depths[0] <= depths[-1]
+
+    def test_probe_accesses_fall_with_wmu(self):
+        out = ablation_probe(k=3, seeds=1, w_mus=(0.5, 4.0))
+        rows = [l.split() for l in out.splitlines()[2:] if l.strip()]
+        probe_low, probe_high = float(rows[0][2]), float(rows[1][2])
+        assert probe_high <= probe_low
+
+    def test_cli(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["ablation", "bound-period", "--seeds", "1"]) == 0
+        assert "period" in capsys.readouterr().out
+
+
+class TestNewAblations:
+    def test_score_access_tight_wins(self):
+        from repro.experiments.ablations import ablation_score_access
+
+        out = ablation_score_access(seeds=1, ks=(1, 5))
+        rows = [l.split() for l in out.splitlines()[2:] if l.strip()]
+        for row in rows:
+            cbrr, tbpa = float(row[1]), float(row[4])
+            assert tbpa <= cbrr
+
+    def test_approx_budget_converges(self):
+        from repro.experiments.ablations import ablation_approx_budget
+
+        out = ablation_approx_budget(k=3, seeds=1, budgets=(0, 64))
+        rows = [l.split() for l in out.splitlines()[2:] if l.strip()]
+        by_label = {r[0]: float(r[1]) for r in rows}
+        # Large budget reads exactly what the exact tight bound reads,
+        # budget 0 no less.
+        assert by_label["64"] == by_label["exact"]
+        assert by_label["0"] >= by_label["exact"]
+
+    def test_cli_new_names(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["ablation", "score-access", "--seeds", "1"]) == 0
+        assert "Appendix C" in capsys.readouterr().out

@@ -1,0 +1,82 @@
+"""Tests for the sampling-based depth estimator."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.costmodel import DepthModel, calibration_observations
+
+
+class TestDepthModelMechanics:
+    def test_recovers_planted_power_law(self):
+        rng = np.random.default_rng(0)
+        model = DepthModel(features=("k", "density"))
+        obs = []
+        for _ in range(40):
+            k = float(rng.uniform(1, 60))
+            rho = float(rng.uniform(10, 300))
+            depth = 3.0 * k**0.4 * rho**0.25
+            obs.append(({"k": k, "density": rho}, depth))
+        model.fit(obs)
+        assert model.exponent("k") == pytest.approx(0.4, abs=1e-6)
+        assert model.exponent("density") == pytest.approx(0.25, abs=1e-6)
+        assert model.predict({"k": 10, "density": 100}) == pytest.approx(
+            3.0 * 10**0.4 * 100**0.25, rel=1e-6
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DepthModel(features=("k",)).predict({"k": 1})
+
+    def test_too_few_observations(self):
+        with pytest.raises(ValueError, match="at least"):
+            DepthModel(features=("k", "density")).fit([({"k": 1, "density": 1}, 5.0)])
+
+    def test_nonpositive_feature_rejected(self):
+        model = DepthModel(features=("k",))
+        with pytest.raises(ValueError, match="positive"):
+            model.fit([({"k": 0}, 5.0), ({"k": 1}, 5.0)])
+
+    def test_nonpositive_depth_rejected(self):
+        model = DepthModel(features=("k",))
+        with pytest.raises(ValueError, match="positive"):
+            model.fit([({"k": 1}, 0.0), ({"k": 2}, 5.0)])
+
+
+class TestCalibrationOnRealRuns:
+    @pytest.fixture(scope="class")
+    def observations(self):
+        return calibration_observations(
+            ks=(1, 5, 20), densities=(20.0, 50.0), seeds=2, n_tuples=250
+        )
+
+    def test_observation_grid(self, observations):
+        assert len(observations) == 6
+        assert all(depth > 0 for _, depth in observations)
+
+    def test_fitted_exponents_match_paper_trends(self, observations):
+        """The paper reports sumDepths grows sublinearly with K and
+        increases with density: exponents in (0, 1)."""
+        model = DepthModel(features=("k", "density")).fit(observations)
+        assert 0.0 < model.exponent("k") < 1.0
+        assert 0.0 < model.exponent("density") < 1.0
+
+    def test_interpolation_within_factor_two(self, observations):
+        """Predict a held-out middle point from the calibration grid."""
+        from repro.core import AccessKind, EuclideanLogScoring, make_algorithm
+        from repro.data import SyntheticConfig, generate_problem
+
+        model = DepthModel(features=("k", "density")).fit(observations)
+        predicted = model.predict({"k": 10, "density": 35.0})
+
+        scoring = EuclideanLogScoring()
+        actual = []
+        for seed in range(3):
+            relations, query = generate_problem(
+                SyntheticConfig(density=35.0, n_tuples=250, seed=seed)
+            )
+            result = make_algorithm(
+                "TBPA", relations, scoring, query, 10, kind=AccessKind.DISTANCE
+            ).run()
+            actual.append(result.sum_depths)
+        mean_actual = float(np.mean(actual))
+        assert predicted == pytest.approx(mean_actual, rel=1.0)  # within 2x

@@ -1,0 +1,179 @@
+"""Tests for the experiment harness, figures and reporting."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    DEFAULTS,
+    FIGURES,
+    ExperimentSettings,
+    figure_cells,
+    render_table,
+    run_synthetic_cell,
+    summarise_gain,
+    write_csv,
+)
+from repro.experiments.harness import run_cell
+from repro.data import city_problem
+
+FAST = ExperimentSettings(seeds=2, n_tuples=120, max_pulls=300)
+
+
+class TestSettings:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentSettings(seeds=0)
+        with pytest.raises(ValueError):
+            ExperimentSettings(n_tuples=0)
+
+    def test_defaults_match_table2(self):
+        assert DEFAULTS == {
+            "k": 10,
+            "dims": 2,
+            "density": 50.0,
+            "skew": 1.0,
+            "n_relations": 2,
+        }
+
+
+class TestRunCell:
+    def test_cell_contains_all_algorithms_and_seeds(self):
+        cell = run_synthetic_cell(
+            "test", k=3, n_relations=2, dims=2, density=30.0, skew=1.0,
+            settings=FAST,
+        )
+        assert cell.algorithms() == ["CBRR", "CBPA", "TBRR", "TBPA"]
+        assert len(cell.measurements) == 4 * FAST.seeds
+
+    def test_means_are_finite(self):
+        cell = run_synthetic_cell(
+            "test", k=3, n_relations=2, dims=2, density=30.0, skew=1.0,
+            settings=FAST,
+        )
+        for algo in cell.algorithms():
+            assert np.isfinite(cell.mean_sum_depths(algo))
+            assert cell.mean_total_seconds(algo) > 0
+            assert cell.mean_combinations(algo) > 0
+
+    def test_tight_beats_corner_on_io(self):
+        cell = run_synthetic_cell(
+            "test", k=5, n_relations=2, dims=2, density=50.0, skew=1.0,
+            settings=ExperimentSettings(seeds=3, n_tuples=200),
+        )
+        assert cell.mean_sum_depths("TBPA") < cell.mean_sum_depths("CBPA")
+
+    def test_algorithm_subset(self):
+        cell = run_synthetic_cell(
+            "test", k=3, n_relations=2, dims=2, density=30.0, skew=1.0,
+            settings=FAST, algorithms=("TBRR", "TBPA"),
+        )
+        assert cell.algorithms() == ["TBRR", "TBPA"]
+
+    def test_city_cell(self):
+        cell = run_cell("SF", [city_problem("SF")], k=5, settings=FAST)
+        assert len(cell.measurements) == 4
+
+
+class TestFigureRegistry:
+    def test_all_fourteen_figures_defined(self):
+        assert sorted(FIGURES) == [f"fig3{c}" for c in "abcdefghijklmn"]
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            figure_cells("fig9z", FAST)
+
+    def test_shared_sweeps_cached(self):
+        cache = {}
+        a = figure_cells("fig3a", FAST, cache)
+        d = figure_cells("fig3d", FAST, cache)
+        assert a is d  # one sweep backs both the I/O and the CPU figure
+
+    def test_dominance_figures_only_tight_algorithms(self):
+        tiny = ExperimentSettings(seeds=1, n_tuples=100, max_pulls=150)
+        cells = figure_cells("fig3m", tiny)
+        assert len(cells) == 7  # periods 1,2,4,8,12,16,inf
+        assert cells[0].algorithms() == ["TBRR", "TBPA"]
+
+
+class TestReporting:
+    def _cells(self):
+        return [
+            run_synthetic_cell(
+                "K=2", k=2, n_relations=2, dims=2, density=30.0, skew=1.0,
+                settings=FAST,
+            )
+        ]
+
+    def test_render_sumdepths(self):
+        out = render_table(self._cells(), "sumDepths", title="demo")
+        assert "demo" in out
+        assert "TBPA" in out
+        assert "K=2" in out
+
+    def test_render_cpu(self):
+        out = render_table(self._cells(), "cpu")
+        assert "CBRR" in out
+
+    def test_render_cpu_split(self):
+        cells = [
+            run_synthetic_cell(
+                "p=4", k=2, n_relations=2, dims=2, density=30.0, skew=1.0,
+                settings=FAST, dominance_period=4, algorithms=("TBRR",),
+            )
+        ]
+        out = render_table(cells, "cpu_split")
+        assert ":bound" in out and ":dom" in out
+
+    def test_render_unknown_metric(self):
+        with pytest.raises(ValueError):
+            render_table(self._cells(), "nope")
+
+    def test_render_empty(self):
+        assert "no data" in render_table([], "cpu")
+
+    def test_write_csv(self, tmp_path: Path):
+        path = tmp_path / "out" / "fig.csv"
+        write_csv(self._cells(), path)
+        text = path.read_text()
+        assert "mean_sum_depths" in text
+        assert "TBPA" in text
+
+    def test_summarise_gain_positive_for_tight(self):
+        gains = summarise_gain(self._cells(), "TBPA", "CBPA")
+        assert len(gains) == 1
+        assert gains[0] > -0.5  # sanity: a ratio, not garbage
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3a" in out and "fig3n" in out
+
+    def test_run_requires_figure_or_all(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["run"]) == 2
+
+    def test_run_single_figure(self, capsys, tmp_path, monkeypatch):
+        from repro.experiments import __main__ as cli
+        from repro.experiments import config as cfg
+
+        # Shrink the workload through the settings object the CLI builds.
+        orig = cfg.ExperimentSettings
+
+        def small_settings(**kwargs):
+            kwargs["n_tuples"] = 100
+            return orig(**kwargs)
+
+        monkeypatch.setattr(cli, "ExperimentSettings", small_settings)
+        assert cli.main(
+            ["run", "--figure", "fig3i", "--seeds", "1", "--out", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fig3i" in out
+        assert (tmp_path / "fig3i.csv").exists()

@@ -1,0 +1,35 @@
+"""The regenerated Tables 1 and 3 must contain the paper's exact values."""
+
+import pytest
+
+from repro.experiments.paper_tables import paper_instance, render_table1, render_table3
+
+
+class TestPaperTables:
+    def test_instance_shape(self):
+        relations = paper_instance()
+        assert [r.name for r in relations] == ["R1", "R2", "R3"]
+        assert all(len(r) == 2 for r in relations)
+
+    def test_table1_values_and_order(self):
+        text = render_table1()
+        for value in ["-7.0", "-8.4", "-13.9", "-16.3", "-21.0", "-22.6", "-28.9", "-29.5"]:
+            assert value in text
+        # Order: the -7.0 row first.
+        lines = [l for l in text.splitlines() if " x " in l]
+        assert lines[0].endswith("-7.0")
+        assert lines[-1].endswith("-29.5")
+
+    def test_table3_values(self):
+        text = render_table3()
+        for value in ["-19.2", "-12.8", "-13.5", "-7.0", "-16.0", "-24.0", "-26.8"]:
+            assert value in text
+        assert "Tight bound t = -7.0" in text
+
+    def test_cli_commands(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table1"]) == 0
+        assert "-29.5" in capsys.readouterr().out
+        assert main(["table3"]) == 0
+        assert "-7.0" in capsys.readouterr().out

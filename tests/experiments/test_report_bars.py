@@ -1,0 +1,56 @@
+"""Tests for the ASCII bar-chart renderer."""
+
+import pytest
+
+from repro.experiments.harness import CellResult, Measurement
+from repro.experiments.report import render_bars
+
+
+def cell(label, depths_by_algo):
+    c = CellResult(label=label)
+    for algo, depth in depths_by_algo.items():
+        c.measurements.append(
+            Measurement(
+                algorithm=algo,
+                sum_depths=depth,
+                depths=(depth // 2, depth - depth // 2),
+                total_seconds=depth / 100.0,
+                bound_seconds=0.0,
+                dominance_seconds=0.0,
+                combinations_formed=depth * depth,
+                completed=True,
+            )
+        )
+    return c
+
+
+class TestRenderBars:
+    def test_empty(self):
+        assert "no data" in render_bars([], "sumDepths")
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            render_bars([cell("x", {"TBPA": 10})], "nope")
+
+    def test_bars_scale_to_peak(self):
+        cells = [cell("K=1", {"CBRR": 100, "TBPA": 50})]
+        out = render_bars(cells, "sumDepths", width=40)
+        lines = out.splitlines()
+        cbrr = next(l for l in lines if "CBRR" in l)
+        tbpa = next(l for l in lines if "TBPA" in l)
+        assert cbrr.count("#") == 40
+        assert tbpa.count("#") == 20
+
+    def test_title_and_units(self):
+        out = render_bars([cell("p", {"TBPA": 10})], "cpu", title="demo")
+        assert out.startswith("demo")
+        assert " s" in out
+
+    def test_sumdepths_units(self):
+        out = render_bars([cell("p", {"TBPA": 10})], "sumDepths")
+        assert "tuples" in out
+
+    def test_multiple_cells_grouped(self):
+        cells = [cell("K=1", {"TBPA": 10}), cell("K=10", {"TBPA": 30})]
+        out = render_bars(cells, "sumDepths")
+        assert out.index("K=1") < out.index("K=10")

@@ -1,0 +1,144 @@
+"""Tests for the two-phase simplex and the dominance feasibility test."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optim import (
+    LPStatus,
+    chebyshev_center,
+    polyhedron_is_empty,
+    simplex_standard_form,
+    solve_lp,
+)
+
+coef = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+class TestStandardForm:
+    def test_textbook_optimum(self):
+        # max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0  -> (4, 0), 12
+        a = np.array([[1.0, 1.0, 1.0, 0.0], [1.0, 3.0, 0.0, 1.0]])
+        b = np.array([4.0, 6.0])
+        c = np.array([-3.0, -2.0, 0.0, 0.0])
+        res = simplex_standard_form(a, b, c)
+        assert res.status is LPStatus.OPTIMAL
+        assert res.value == pytest.approx(-12.0)
+        np.testing.assert_allclose(res.x[:2], [4.0, 0.0], atol=1e-9)
+
+    def test_infeasible(self):
+        # x = -1 with x >= 0 is infeasible.
+        res = simplex_standard_form([[1.0]], [-1.0], [0.0])
+        assert res.status is LPStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        # min -x s.t. x - s = 0  (x free upward)
+        res = simplex_standard_form([[1.0, -1.0]], [0.0], [-1.0, 0.0])
+        assert res.status is LPStatus.UNBOUNDED
+
+    def test_negative_rhs_normalisation(self):
+        # -x = -3, x >= 0 -> x = 3.
+        res = simplex_standard_form([[-1.0]], [-3.0], [1.0])
+        assert res.status is LPStatus.OPTIMAL
+        assert res.x[0] == pytest.approx(3.0)
+
+    def test_degenerate_redundant_rows(self):
+        a = np.array([[1.0, 1.0], [2.0, 2.0]])
+        b = np.array([2.0, 4.0])
+        c = np.array([1.0, 0.0])
+        res = simplex_standard_form(a, b, c)
+        assert res.status is LPStatus.OPTIMAL
+        assert res.value == pytest.approx(0.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            simplex_standard_form([[1.0]], [1.0, 2.0], [1.0])
+
+
+class TestSolveLPFreeVars:
+    def test_free_variable_optimum_negative(self):
+        # min x s.t. x >= -5 (i.e. -x <= 5) -> x = -5.
+        res = solve_lp([1.0], [[-1.0]], [5.0])
+        assert res.status is LPStatus.OPTIMAL
+        assert res.x[0] == pytest.approx(-5.0)
+
+    def test_two_dim_box(self):
+        # min -x - y over the unit box.
+        a = np.array([[1.0, 0.0], [0.0, 1.0], [-1.0, 0.0], [0.0, -1.0]])
+        b = np.array([1.0, 1.0, 0.0, 0.0])
+        res = solve_lp([-1.0, -1.0], a, b)
+        assert res.value == pytest.approx(-2.0)
+
+    def test_unbounded_detection(self):
+        res = solve_lp([-1.0], [[-1.0]], [0.0])
+        assert res.status is LPStatus.UNBOUNDED
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_against_scipy_linprog(self, seed):
+        scipy_opt = pytest.importorskip("scipy.optimize")
+        rng = np.random.default_rng(seed)
+        n, m = 3, 6
+        a = rng.normal(size=(m, n))
+        x0 = rng.normal(size=n)
+        b = a @ x0 + abs(rng.normal(size=m)) + 0.5  # feasible by construction
+        c = rng.normal(size=n)
+        # Keep bounded by boxing the variables.
+        a_full = np.vstack([a, np.eye(n), -np.eye(n)])
+        b_full = np.concatenate([b, np.full(n, 50.0), np.full(n, 50.0)])
+        res = solve_lp(c, a_full, b_full)
+        ref = scipy_opt.linprog(c, A_ub=a_full, b_ub=b_full, bounds=(None, None))
+        assert res.status is LPStatus.OPTIMAL
+        assert res.value == pytest.approx(float(ref.fun), abs=1e-6)
+
+
+class TestChebyshevAndEmptiness:
+    def test_unit_box_center(self):
+        g = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        h = np.array([1.0, 1.0, 1.0, 1.0])
+        center, radius = chebyshev_center(g, h)
+        np.testing.assert_allclose(center, [0.0, 0.0], atol=1e-8)
+        assert radius == pytest.approx(1.0)
+
+    def test_empty_region_negative_radius(self):
+        # x <= 0 and x >= 1.
+        g = np.array([[1.0], [-1.0]])
+        h = np.array([0.0, -1.0])
+        _, radius = chebyshev_center(g, h)
+        assert radius == pytest.approx(-0.5)
+
+    def test_halfspace_unbounded_radius_capped(self):
+        _, radius = chebyshev_center(np.array([[1.0, 0.0]]), np.array([0.0]))
+        assert radius == pytest.approx(1e3)
+
+    def test_zero_row_feasible(self):
+        g = np.array([[0.0, 0.0], [1.0, 0.0]])
+        h = np.array([1.0, 2.0])
+        _, radius = chebyshev_center(g, h)
+        assert radius > 0
+
+    def test_zero_row_infeasible(self):
+        g = np.array([[0.0, 0.0]])
+        h = np.array([-1.0])
+        assert polyhedron_is_empty(g, h)
+
+    def test_emptiness_decisions(self):
+        assert polyhedron_is_empty([[1.0], [-1.0]], [0.0, -1.0])
+        assert not polyhedron_is_empty([[1.0], [-1.0]], [1.0, 0.0])
+
+    def test_thin_region_kept(self):
+        # A region that is a single point (x <= 0, x >= 0) is not
+        # "robustly empty": pruning must keep it.
+        assert not polyhedron_is_empty([[1.0], [-1.0]], [0.0, 0.0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(2, 4), st.integers(3, 8), st.randoms(use_true_random=False))
+    def test_never_reports_feasible_region_empty(self, d, m, rnd):
+        """Soundness: if we can exhibit an interior point, the test must
+        never claim emptiness (dominance pruning correctness depends on
+        this one-sided guarantee)."""
+        rng = np.random.default_rng(rnd.randint(0, 2**32 - 1))
+        g = rng.normal(size=(m, d))
+        y0 = rng.normal(size=d)
+        h = g @ y0 + abs(rng.normal(size=m)) + 0.05
+        assert not polyhedron_is_empty(g, h)

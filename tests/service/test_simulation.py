@@ -1,0 +1,154 @@
+"""Tests for the simulated remote services."""
+
+import numpy as np
+import pytest
+
+from repro.core import AccessKind, EuclideanLogScoring, Relation, tbpa
+from repro.service import LatencyModel, ServiceEndpoint, ServiceStream, make_service_streams
+
+
+def make_relation(size=25, seed=0):
+    rng = np.random.default_rng(seed)
+    return Relation(
+        "svc", rng.uniform(0.05, 1, size), rng.uniform(-2, 2, (size, 2)),
+        sigma_max=1.0,
+    )
+
+
+class TestLatencyModel:
+    def test_deterministic_base(self):
+        rng = np.random.default_rng(0)
+        m = LatencyModel(base=0.1, jitter=0.0)
+        assert m.sample(rng) == 0.1
+
+    def test_jitter_range(self):
+        rng = np.random.default_rng(0)
+        m = LatencyModel(base=0.1, jitter=0.05)
+        for _ in range(50):
+            s = m.sample(rng)
+            assert 0.1 <= s <= 0.15
+
+    def test_negative_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            LatencyModel(base=-0.1).sample(rng)
+
+
+class TestServiceEndpoint:
+    def test_pages_are_ordered_and_counted(self):
+        rel = make_relation()
+        ep = ServiceEndpoint(
+            rel, kind=AccessKind.DISTANCE, query=np.zeros(2), page_size=10
+        )
+        page1 = ep.fetch_page()
+        page2 = ep.fetch_page()
+        assert len(page1) == len(page2) == 10
+        d = [np.linalg.norm(t.vector) for t in page1 + page2]
+        assert d == sorted(d)
+        assert ep.calls == 2
+        assert ep.tuples_served == 20
+        assert ep.simulated_seconds > 0
+
+    def test_short_page_signals_exhaustion(self):
+        rel = make_relation(size=5)
+        ep = ServiceEndpoint(
+            rel, kind=AccessKind.DISTANCE, query=np.zeros(2), page_size=10
+        )
+        assert len(ep.fetch_page()) == 5
+        assert ep.fetch_page() == []
+
+    def test_score_kind(self):
+        rel = make_relation()
+        ep = ServiceEndpoint(rel, kind=AccessKind.SCORE, page_size=5)
+        page = ep.fetch_page()
+        scores = [t.score for t in page]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_distance_requires_query(self):
+        with pytest.raises(ValueError, match="query"):
+            ServiceEndpoint(make_relation(), kind=AccessKind.DISTANCE)
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            ServiceEndpoint(make_relation(), kind=AccessKind.SCORE, page_size=0)
+
+
+class TestServiceStream:
+    def test_stream_interface_matches_local_access(self):
+        from repro.core.access import DistanceAccess
+
+        rel = make_relation(seed=3)
+        q = np.zeros(2)
+        local = DistanceAccess(rel, q)
+        remote = ServiceStream(
+            ServiceEndpoint(rel, kind=AccessKind.DISTANCE, query=q, page_size=7)
+        )
+        for _ in range(len(rel)):
+            a, b = local.next(), remote.next()
+            assert a.tid == b.tid
+            assert local.last_distance == pytest.approx(remote.last_distance)
+        assert remote.next() is None
+        assert remote.exhausted
+
+    def test_depth_counts_tuples_not_pages(self):
+        rel = make_relation()
+        stream = ServiceStream(
+            ServiceEndpoint(rel, kind=AccessKind.DISTANCE, query=np.zeros(2), page_size=10)
+        )
+        stream.next()
+        assert stream.depth == 1  # one tuple consumed, though a page of 10 fetched
+        assert stream.endpoint.tuples_served == 10
+
+    def test_score_statistics(self):
+        rel = make_relation(seed=4)
+        stream = ServiceStream(ServiceEndpoint(rel, kind=AccessKind.SCORE, page_size=3))
+        assert stream.first_score == rel.sigma_max
+        stream.next()
+        stream.next()
+        assert stream.first_score >= stream.last_score
+
+
+class TestEndToEndThroughEngine:
+    def test_engine_result_identical_to_local(self):
+        rng = np.random.default_rng(9)
+        relations = [
+            Relation(
+                f"R{i}", rng.uniform(0.05, 1, 30), rng.uniform(-2, 2, (30, 2)),
+                sigma_max=1.0,
+            )
+            for i in range(2)
+        ]
+        q = np.zeros(2)
+        scoring = EuclideanLogScoring()
+
+        local = tbpa(relations, scoring, q, 5).run()
+
+        engine = tbpa(relations, scoring, q, 5)
+        engine.stream_factory = lambda: make_service_streams(
+            relations, kind=AccessKind.DISTANCE, query=q, page_size=4
+        )
+        remote = engine.run()
+        assert [c.key for c in remote.combinations] == [
+            c.key for c in local.combinations
+        ]
+        assert remote.depths == local.depths
+
+    def test_page_size_does_not_change_answers(self):
+        rng = np.random.default_rng(10)
+        relations = [
+            Relation(
+                f"R{i}", rng.uniform(0.05, 1, 25), rng.uniform(-2, 2, (25, 2)),
+                sigma_max=1.0,
+            )
+            for i in range(2)
+        ]
+        q = np.zeros(2)
+        scoring = EuclideanLogScoring()
+        keys = []
+        for page_size in (1, 3, 50):
+            engine = tbpa(relations, scoring, q, 4)
+            engine.stream_factory = lambda ps=page_size: make_service_streams(
+                relations, kind=AccessKind.DISTANCE, query=q, page_size=ps
+            )
+            keys.append([c.key for c in engine.run().combinations])
+        assert keys[0] == keys[1] == keys[2]

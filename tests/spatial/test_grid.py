@@ -1,0 +1,93 @@
+"""Tests for the uniform grid index, cross-checked against the k-d tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.spatial import KDTree
+from repro.spatial.grid import GridIndex
+
+coords = st.floats(min_value=-30.0, max_value=30.0, allow_nan=False, allow_infinity=False)
+
+
+class TestConstruction:
+    def test_empty(self):
+        grid = GridIndex(np.zeros((0, 2)))
+        assert len(grid) == 0
+        assert list(grid.iter_nearest([0.0, 0.0])) == []
+
+    def test_payload_mismatch(self):
+        with pytest.raises(ValueError, match="payloads"):
+            GridIndex([[0.0, 0.0]], payloads=[])
+
+    def test_bad_cell_size(self):
+        with pytest.raises(ValueError, match="cell_size"):
+            GridIndex([[0.0, 0.0]], cell_size=0.0)
+
+    def test_auto_cell_size_positive(self):
+        rng = np.random.default_rng(0)
+        grid = GridIndex(rng.normal(size=(100, 2)))
+        assert grid.cell_size > 0
+
+    def test_coincident_points(self):
+        grid = GridIndex([[1.0, 1.0]] * 7)
+        assert len(list(grid.iter_nearest([0.0, 0.0]))) == 7
+
+
+class TestQueries:
+    def test_query_dim_mismatch(self):
+        grid = GridIndex([[0.0, 0.0]])
+        with pytest.raises(ValueError, match="shape"):
+            list(grid.iter_nearest([0.0]))
+
+    def test_nearest(self):
+        grid = GridIndex([[0.0], [5.0], [2.0]], cell_size=1.0)
+        assert grid.nearest([4.5])[0][1] == 1
+
+    def test_nearest_invalid_k(self):
+        with pytest.raises(ValueError):
+            GridIndex([[0.0]]).nearest([0.0], k=0)
+
+    def test_range_query(self):
+        grid = GridIndex([[0.0], [1.0], [3.0]], cell_size=1.0)
+        got = grid.range_query([0.0], radius=1.5)
+        assert [p for _, p in got] == [0, 1]
+
+    def test_range_negative_radius(self):
+        with pytest.raises(ValueError):
+            GridIndex([[0.0]]).range_query([0.0], radius=-1.0)
+
+
+class TestCrossCheckAgainstKDTree:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        arrays(np.float64, st.tuples(st.integers(1, 50), st.just(2)), elements=coords),
+        arrays(np.float64, (2,), elements=coords),
+    )
+    def test_same_distance_stream(self, pts, q):
+        grid = GridIndex(pts)
+        tree = KDTree(pts)
+        grid_d = [d for d, _ in grid.iter_nearest(q)]
+        tree_d = [d for d, _ in tree.iter_nearest(q)]
+        np.testing.assert_allclose(grid_d, tree_d, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        arrays(np.float64, st.tuples(st.integers(1, 40), st.just(3)), elements=coords),
+        arrays(np.float64, (3,), elements=coords),
+        st.floats(min_value=0.1, max_value=20.0),
+    )
+    def test_same_range_results(self, pts, q, radius):
+        grid = GridIndex(pts)
+        tree = KDTree(pts)
+        grid_ids = sorted(p for _, p in grid.range_query(q, radius))
+        tree_ids = sorted(p for _, p in tree.range_query(q, radius))
+        assert grid_ids == tree_ids
+
+    def test_monotone_stream(self):
+        rng = np.random.default_rng(3)
+        grid = GridIndex(rng.normal(size=(200, 2)))
+        dists = [d for d, _ in grid.iter_nearest(np.zeros(2))]
+        assert all(a <= b + 1e-12 for a, b in zip(dists, dists[1:]))

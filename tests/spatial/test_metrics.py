@@ -1,0 +1,149 @@
+"""Unit and property tests for distance metrics and centroids."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.spatial import (
+    METRICS,
+    chebyshev,
+    cosine_distance,
+    euclidean,
+    geometric_median,
+    get_metric,
+    manhattan,
+    mean_centroid,
+    squared_euclidean,
+)
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def vectors(dim: int):
+    return arrays(np.float64, (dim,), elements=finite_floats)
+
+
+class TestBasicDistances:
+    def test_euclidean_known_value(self):
+        assert euclidean([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_squared_euclidean_known_value(self):
+        assert squared_euclidean([0.0, 0.0], [3.0, 4.0]) == pytest.approx(25.0)
+
+    def test_manhattan_known_value(self):
+        assert manhattan([1.0, 2.0], [4.0, -2.0]) == pytest.approx(7.0)
+
+    def test_chebyshev_known_value(self):
+        assert chebyshev([1.0, 2.0], [4.0, -2.0]) == pytest.approx(4.0)
+
+    def test_cosine_orthogonal(self):
+        assert cosine_distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_cosine_parallel(self):
+        assert cosine_distance([2.0, 0.0], [5.0, 0.0]) == pytest.approx(0.0)
+
+    def test_cosine_antiparallel(self):
+        assert cosine_distance([1.0, 0.0], [-3.0, 0.0]) == pytest.approx(2.0)
+
+    def test_cosine_zero_vector_convention(self):
+        assert cosine_distance([0.0, 0.0], [1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_get_metric_lookup(self):
+        assert get_metric("euclidean") is euclidean
+
+    def test_get_metric_unknown_raises_with_listing(self):
+        with pytest.raises(KeyError, match="euclidean"):
+            get_metric("nope")
+
+    def test_registry_contains_all(self):
+        assert set(METRICS) == {
+            "euclidean",
+            "squared_euclidean",
+            "manhattan",
+            "chebyshev",
+            "cosine",
+        }
+
+
+class TestMetricProperties:
+    @given(vectors(3), vectors(3))
+    def test_euclidean_symmetry(self, x, y):
+        assert euclidean(x, y) == pytest.approx(euclidean(y, x))
+
+    @given(vectors(3))
+    def test_euclidean_identity(self, x):
+        assert euclidean(x, x) == 0.0
+
+    @given(vectors(3), vectors(3), vectors(3))
+    def test_euclidean_triangle_inequality(self, x, y, z):
+        assert euclidean(x, z) <= euclidean(x, y) + euclidean(y, z) + 1e-9
+
+    @given(vectors(4), vectors(4), vectors(4))
+    def test_manhattan_triangle_inequality(self, x, y, z):
+        assert manhattan(x, z) <= manhattan(x, y) + manhattan(y, z) + 1e-9
+
+    @given(vectors(2), vectors(2))
+    def test_squared_euclidean_consistent_with_euclidean(self, x, y):
+        assert squared_euclidean(x, y) == pytest.approx(euclidean(x, y) ** 2)
+
+    @given(vectors(3), vectors(3))
+    def test_cosine_range(self, x, y):
+        assert 0.0 <= cosine_distance(x, y) <= 2.0
+
+
+class TestMeanCentroid:
+    def test_single_point(self):
+        np.testing.assert_allclose(mean_centroid([[1.0, 2.0]]), [1.0, 2.0])
+
+    def test_known_mean(self):
+        pts = [[0.0, 0.0], [2.0, 0.0], [1.0, 3.0]]
+        np.testing.assert_allclose(mean_centroid(pts), [1.0, 1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_centroid(np.zeros((0, 2)))
+
+    @settings(max_examples=50)
+    @given(arrays(np.float64, (5, 3), elements=finite_floats))
+    def test_mean_minimises_sum_of_squares(self, pts):
+        c = mean_centroid(pts)
+        base = sum(squared_euclidean(p, c) for p in pts)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            other = c + rng.normal(scale=0.5, size=3)
+            assert base <= sum(squared_euclidean(p, other) for p in pts) + 1e-6
+
+
+class TestGeometricMedian:
+    def test_single_point(self):
+        np.testing.assert_allclose(geometric_median([[3.0, 4.0]]), [3.0, 4.0])
+
+    def test_collinear_median(self):
+        pts = [[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]]
+        med = geometric_median(pts)
+        assert med[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_median(np.zeros((0, 2)))
+
+    def test_coincident_points(self):
+        pts = [[1.0, 1.0]] * 4 + [[5.0, 5.0]]
+        med = geometric_median(pts)
+        np.testing.assert_allclose(med, [1.0, 1.0], atol=1e-6)
+
+    @settings(max_examples=30)
+    @given(arrays(np.float64, (6, 2), elements=finite_floats))
+    def test_median_near_optimal(self, pts):
+        med = geometric_median(pts)
+        base = sum(euclidean(p, med) for p in pts)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            other = med + rng.normal(scale=0.3, size=2)
+            # Weiszfeld converges to tolerance, not to machine precision:
+            # allow a scale-relative slack.
+            assert base <= sum(euclidean(p, other) for p in pts) + 1e-4 * (1 + base)
