@@ -3,6 +3,7 @@ the four evaluated algorithms (CBRR/CBPA/TBRR/TBPA)."""
 
 from repro.core.access import AccessKind, DistanceAccess, ScoreAccess, open_streams
 from repro.core.algorithms import ALGORITHMS, cbpa, cbrr, make_algorithm, tbpa, tbrr
+from repro.core.batchscore import CandidatePruner, QuadraticBatchScorer
 from repro.core.bounds import ApproxTightBound, CornerBound, TightBound
 from repro.core.buffers import TopKBuffer
 from repro.core.naive import brute_force_topk
@@ -31,6 +32,8 @@ __all__ = [
     "tbpa",
     "tbrr",
     "ApproxTightBound",
+    "CandidatePruner",
+    "QuadraticBatchScorer",
     "CornerBound",
     "TightBound",
     "TopKBuffer",

@@ -55,6 +55,11 @@ class AccessStream(Protocol):
     @property
     def sigma_max(self) -> float: ...
 
+    def next_block(self, limit: int) -> list[RankTuple]:
+        """Optional block pull; the engine falls back to repeated
+        :meth:`next` calls for streams that do not provide it."""
+        ...
+
 
 class _BaseStream:
     """Shared depth/exhaustion bookkeeping."""
@@ -82,6 +87,23 @@ class _BaseStream:
     @property
     def exhausted(self) -> bool:
         return self.depth >= len(self.relation)
+
+    def next_block(self, limit: int) -> list[RankTuple]:
+        """Pull up to ``limit`` tuples in access order (block pull).
+
+        Returns fewer than ``limit`` tuples — possibly none — once the
+        stream runs out.  Semantically identical to ``limit`` calls to
+        :meth:`next`; the engine's block-pull mode uses it so stream
+        implementations can amortise per-pull work (e.g. the service
+        simulator serves whole pages).
+        """
+        block: list[RankTuple] = []
+        for _ in range(limit):
+            tup = self.next()
+            if tup is None:
+                break
+            block.append(tup)
+        return block
 
 
 class DistanceAccess(_BaseStream):

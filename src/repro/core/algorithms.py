@@ -39,7 +39,9 @@ def _build(
     adaptive: bool,
     dominance_period: int | None,
     bound_period: int,
+    pull_block: int,
     use_index: bool,
+    stream_factory,
     max_pulls: int | None,
 ) -> ProxRJ:
     bound = TightBound(dominance_period=dominance_period) if tight else CornerBound()
@@ -53,7 +55,9 @@ def _build(
         pull=pull,
         k=k,
         bound_period=bound_period,
+        pull_block=pull_block,
         use_index=use_index,
+        stream_factory=stream_factory,
         max_pulls=max_pulls,
     )
 
@@ -66,15 +70,17 @@ def cbrr(
     *,
     kind: AccessKind = AccessKind.DISTANCE,
     bound_period: int = 1,
+    pull_block: int = 1,
     use_index: bool = False,
+    stream_factory=None,
     max_pulls: int | None = None,
 ) -> ProxRJ:
     """Corner bound + round-robin: the HRJN baseline."""
     return _build(
         relations, scoring, query, k,
         kind=kind, tight=False, adaptive=False,
-        dominance_period=None, bound_period=bound_period, use_index=use_index,
-        max_pulls=max_pulls,
+        dominance_period=None, bound_period=bound_period, pull_block=pull_block,
+        use_index=use_index, stream_factory=stream_factory, max_pulls=max_pulls,
     )
 
 
@@ -86,15 +92,17 @@ def cbpa(
     *,
     kind: AccessKind = AccessKind.DISTANCE,
     bound_period: int = 1,
+    pull_block: int = 1,
     use_index: bool = False,
+    stream_factory=None,
     max_pulls: int | None = None,
 ) -> ProxRJ:
     """Corner bound + potential-adaptive: the HRJN* baseline."""
     return _build(
         relations, scoring, query, k,
         kind=kind, tight=False, adaptive=True,
-        dominance_period=None, bound_period=bound_period, use_index=use_index,
-        max_pulls=max_pulls,
+        dominance_period=None, bound_period=bound_period, pull_block=pull_block,
+        use_index=use_index, stream_factory=stream_factory, max_pulls=max_pulls,
     )
 
 
@@ -107,7 +115,9 @@ def tbrr(
     kind: AccessKind = AccessKind.DISTANCE,
     dominance_period: int | None = None,
     bound_period: int = 1,
+    pull_block: int = 1,
     use_index: bool = False,
+    stream_factory=None,
     max_pulls: int | None = None,
 ) -> ProxRJ:
     """Tight bound + round-robin (instance-optimal)."""
@@ -115,7 +125,8 @@ def tbrr(
         relations, scoring, query, k,
         kind=kind, tight=True, adaptive=False,
         dominance_period=dominance_period, bound_period=bound_period,
-        use_index=use_index, max_pulls=max_pulls,
+        pull_block=pull_block, use_index=use_index,
+        stream_factory=stream_factory, max_pulls=max_pulls,
     )
 
 
@@ -128,7 +139,9 @@ def tbpa(
     kind: AccessKind = AccessKind.DISTANCE,
     dominance_period: int | None = None,
     bound_period: int = 1,
+    pull_block: int = 1,
     use_index: bool = False,
+    stream_factory=None,
     max_pulls: int | None = None,
 ) -> ProxRJ:
     """Tight bound + potential-adaptive (the paper's best algorithm)."""
@@ -136,7 +149,8 @@ def tbpa(
         relations, scoring, query, k,
         kind=kind, tight=True, adaptive=True,
         dominance_period=dominance_period, bound_period=bound_period,
-        use_index=use_index, max_pulls=max_pulls,
+        pull_block=pull_block, use_index=use_index,
+        stream_factory=stream_factory, max_pulls=max_pulls,
     )
 
 

@@ -16,9 +16,16 @@ that can possibly enter the top-K buffer are materialised as
 :class:`Combination` objects (with their score recomputed by the
 canonical scalar path, so downstream ordering is bit-identical to the
 non-vectorised engine).
+
+:class:`CandidatePruner` lifts the same cached statistics to block
+granularity: the engine's block-pull mode asks it whether a whole block
+cross product can possibly beat the current K-th score, and skips the
+scoring pass entirely when it cannot.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -26,7 +33,7 @@ from repro.core.buffers import TopKBuffer
 from repro.core.relation import RankTuple
 from repro.core.scoring import QuadraticFormScoring
 
-__all__ = ["QuadraticBatchScorer"]
+__all__ = ["QuadraticBatchScorer", "CandidatePruner"]
 
 #: Extra candidates materialised beyond K to absorb float-associativity
 #: reordering between the batched and the canonical score evaluation.
@@ -46,17 +53,20 @@ class QuadraticBatchScorer:
         self.query = np.asarray(query, dtype=float)
         self._scalar: dict[tuple[str, int], float] = {}
         self._vector: dict[tuple[str, int], np.ndarray] = {}
+        self._norm: dict[tuple[str, int], float] = {}
 
     def _stats(self, tup: RankTuple) -> tuple[float, np.ndarray]:
         key = (tup.relation, tup.tid)
         scalar = self._scalar.get(key)
         if scalar is None:
             centred = np.asarray(tup.vector, dtype=float) - self.query
+            sq = float(centred @ centred)
             scalar = self.scoring.w_s * self.scoring.score_utility(tup.score) - (
                 self.scoring.w_q + self.scoring.w_mu
-            ) * float(centred @ centred)
+            ) * sq
             self._scalar[key] = scalar
             self._vector[key] = centred
+            self._norm[key] = math.sqrt(sq)
         return scalar, self._vector[key]
 
     def score_pools(self, pools: list[list[RankTuple]]) -> np.ndarray:
@@ -89,11 +99,18 @@ class QuadraticBatchScorer:
         flat = scores.ravel()
         keep = min(total, output.k + _SLACK)
         if keep < total:
-            idx = np.argpartition(flat, total - keep)[total - keep :]
-            # Skip candidates that cannot beat the current K-th score even
-            # before materialisation (small epsilon guards float drift).
-            floor = output.kth_score - 1e-9
-            idx = idx[flat[idx] >= floor]
+            # The partition picks *some* keep candidates; with more than
+            # ``keep`` candidates tied at the boundary score it would pick
+            # an arbitrary subset of the ties, while the sequential engine
+            # resolves ties by the deterministic tuple-id key.  Widen the
+            # cut to every candidate tied with the boundary (and drop the
+            # ones that cannot beat the current K-th score even before
+            # materialisation); the buffer then applies the canonical
+            # tie-break over the full tied cohort.  Small epsilons guard
+            # float drift between the batched and the canonical scores.
+            boundary = np.argpartition(flat, total - keep)[total - keep :]
+            floor = max(float(flat[boundary].min()), output.kth_score) - 1e-9
+            idx = np.nonzero(flat >= floor)[0]
         else:
             idx = np.arange(total)
         # Best-first insertion keeps the buffer's tie-breaking identical
@@ -105,3 +122,96 @@ class QuadraticBatchScorer:
             tuples = tuple(pool[c] for pool, c in zip(pools, coords))
             output.add(self.scoring.make_combination(tuples, self.query))
         return total
+
+    def pools_upper_bound(self, pools: list[list[RankTuple]]) -> float:
+        """Cheap upper bound on the best score in ``prod(pools)``.
+
+        Uses the separated form of the quadratic family: with
+        ``scalar(t) = w_s u(sigma) - (w_q + w_mu) ||x - q||^2`` and
+        ``v(t) = x - q``, two correct relaxations of
+
+            S = sum_i scalar(t_i) + (w_mu / n) || sum_i v(t_i) ||^2
+
+        are combined:
+
+        * triangle inequality:
+          ``S <= sum_i max scalar + (w_mu / n) (sum_i max ||v||)^2``
+        * dropping the centroid coupling via ``||sum v||^2 <= n sum
+          ||v||^2``, which cancels the ``w_mu`` distance charge per tuple:
+          ``S <= sum_i max [w_s u(sigma) - w_q ||x - q||^2]``
+
+        The second is what bites for far-away blocks (their ``- w_q
+        ||x - q||^2`` term sinks the sum); the first wins when ``w_q`` is
+        tiny.  Costs one cached-dict lookup per pool tuple — no cross
+        product is formed — which is what makes skipping whole blocks
+        profitable.
+        """
+        w_mu = self.scoring.w_mu
+        sum_scalar = 0.0
+        norm_sum = 0.0
+        sum_cheap = 0.0
+        for pool in pools:
+            pool_scalar = -np.inf
+            pool_norm = 0.0
+            pool_cheap = -np.inf
+            for tup in pool:
+                scalar, _ = self._stats(tup)
+                norm = self._norm[(tup.relation, tup.tid)]
+                if scalar > pool_scalar:
+                    pool_scalar = scalar
+                if norm > pool_norm:
+                    pool_norm = norm
+                cheap = scalar + w_mu * norm * norm
+                if cheap > pool_cheap:
+                    pool_cheap = cheap
+            sum_scalar += pool_scalar
+            norm_sum += pool_norm
+            sum_cheap += pool_cheap
+        triangle = sum_scalar + (w_mu / len(pools)) * norm_sum * norm_sum
+        return min(triangle, sum_cheap)
+
+
+class CandidatePruner:
+    """Engine-level admission test for candidate blocks.
+
+    Generalises the batch scorer's per-tuple caching into a block-level
+    filter: before a block cross product is scored, an upper bound on its
+    best achievable aggregate score (:meth:`QuadraticBatchScorer.
+    pools_upper_bound`) is compared against the current K-th score.  A
+    block that provably cannot place a combination into the top-K buffer
+    is skipped without scoring or materialising anything.
+
+    The bound overestimates, and ties at the K-th score survive the
+    epsilon guard, so pruning never changes the engine's ranked top-K —
+    only the work done to reach it.
+    """
+
+    def __init__(self, scorer: QuadraticBatchScorer) -> None:
+        self.scorer = scorer
+        self.blocks_pruned = 0
+        self.blocks_scored = 0
+        self.combinations_pruned = 0
+
+    def admit(self, pools: list[list[RankTuple]], kth_score: float) -> bool:
+        """Whether the block's cross product must be scored."""
+        if any(not pool for pool in pools):
+            return False  # nothing to form; not counted as a pruned block
+        if kth_score == -np.inf:
+            self.blocks_scored += 1
+            return True
+        if self.scorer.pools_upper_bound(pools) < kth_score - 1e-9:
+            self.blocks_pruned += 1
+            size = 1
+            for pool in pools:
+                size *= len(pool)
+            self.combinations_pruned += size
+            return False
+        self.blocks_scored += 1
+        return True
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "blocks_pruned": self.blocks_pruned,
+            "blocks_scored": self.blocks_scored,
+            "combinations_pruned": self.combinations_pruned,
+        }

@@ -101,6 +101,11 @@ class BoundingScheme(ABC):
         Must return a correct upper bound on the aggregate score of every
         combination that uses at least one unseen tuple (``-inf`` when no
         such combination can exist).
+
+        Engines may batch pulls (``bound_period`` > 1 or block-pull mode)
+        and invoke this once per batch, with ``tau`` the *last* tuple
+        pulled; schemes must therefore synchronise against the streams'
+        seen prefixes rather than assume exactly one new tuple per call.
         """
 
     @abstractmethod

@@ -24,8 +24,14 @@ class PullingStrategy(ABC):
     def choose_input(self, state: EngineState, bound: BoundingScheme) -> int:
         """Index of the next relation to access.
 
-        Must return an unexhausted relation; the engine guarantees at
-        least one exists when this is called.
+        Should return an unexhausted relation; the engine guarantees at
+        least one exists when this is called.  Strategies that return an
+        exhausted relation anyway are tolerated: the engine re-chooses
+        the first unexhausted stream in one central place, so termination
+        and ``max_pulls`` accounting cannot be subverted.
+
+        In block-pull mode (``pull_block > 1``) the engine consults the
+        strategy once per *block*, not once per tuple.
         """
 
     def reset(self) -> None:

@@ -1,15 +1,33 @@
 """The ProxRJ template (Algorithm 1) and its run instrumentation.
 
-The engine pulls tuples one at a time from the access streams, forms every
-new combination the pull enables (line 6 of Algorithm 1: a cross product
+The engine pulls tuples from the access streams, forms every new
+combination the pulls enable (line 6 of Algorithm 1: a cross product
 against the seen prefixes of the other relations), keeps the best ``K`` in
 the output buffer, and stops as soon as the buffer is full *and* its K-th
-score is at least the bounding scheme's upper bound on unseen
-combinations.
+score strictly exceeds the bounding scheme's upper bound on unseen
+combinations (strict so that boundary *ties* are certified too — see the
+comment on the stopping rule in :meth:`ProxRJ.run`).
 
-Correctness requires only that the bound is a correct upper bound and the
-strategy returns unexhausted relations; optimality additionally needs a
-tight bound (Theorems 3.2/3.3).
+Two execution modes share the loop:
+
+* **Per-tuple** (``pull_block=1``, the paper's Algorithm 1): one tuple per
+  iteration, one bound refresh per ``bound_period`` pulls.
+* **Block pull** (``pull_block=B > 1``): up to ``B`` tuples are pulled
+  from the chosen relation per iteration, their enabled cross products are
+  scored in one vectorised pass, and the bound is refreshed once per
+  block.  For the quadratic scoring family a
+  :class:`~repro.core.batchscore.CandidatePruner` additionally skips any
+  block whose best possible aggregate score cannot beat the current K-th
+  score.  Completed runs return the *same ranked top-K* as the per-tuple
+  mode (the buffer's retained set depends only on the deterministic
+  (score, tuple-id) order, never on insertion order); only the pull
+  schedule — and hence ``sum_depths`` — may differ.
+
+Correctness requires only that the bound is a correct upper bound;
+strategies *should* return unexhausted relations, but the engine
+tolerates misbehaving ones by re-choosing the first unexhausted stream
+(so ``max_pulls`` and termination guarantees cannot be bypassed).
+Optimality additionally needs a tight bound (Theorems 3.2/3.3).
 """
 
 from __future__ import annotations
@@ -20,11 +38,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.access import AccessKind, open_streams
-from repro.core.batchscore import QuadraticBatchScorer
+from repro.core.batchscore import CandidatePruner, QuadraticBatchScorer
 from repro.core.bounds.base import INFINITY, BoundingScheme, EngineState
 from repro.core.buffers import TopKBuffer
 from repro.core.pulling import PullingStrategy
-from repro.core.relation import Combination, Relation
+from repro.core.relation import Combination, RankTuple, Relation
 from repro.core.scoring import QuadraticFormScoring, Scoring
 
 __all__ = ["ProxRJ", "RunResult"]
@@ -43,8 +61,12 @@ class RunResult:
     bound:
         Final value of the upper bound when the loop stopped.
     total_seconds:
-        Wall-clock CPU time of the run (excludes data generation, as in
-        the paper, which excludes tuple-fetch time).
+        Wall-clock time of the engine loop only: pulling, combination
+        formation/scoring and bound updates.  Stream setup — opening the
+        access streams or calling ``stream_factory``, which is where
+        pre-sorting and index building happen — is excluded, matching the
+        paper's convention of excluding data generation and tuple-fetch
+        preparation from CPU time.
     bound_seconds / dominance_seconds:
         Shares of ``total_seconds`` spent in updateBound and in the
         dominance test (the lighter stacked bars of Figure 3).
@@ -99,6 +121,14 @@ class ProxRJ:
         bound is still a *correct* (if looser) upper bound — bounds only
         decrease as accesses accumulate — so correctness is preserved;
         the paper suggests this as the practical-systems trade-off.
+    pull_block:
+        Tuples pulled per chosen relation per loop iteration (>= 1).
+        ``1`` is the paper's per-tuple Algorithm 1; larger blocks
+        amortise strategy calls and bound updates over the block and let
+        the vectorised scorer work on bigger batches.  Completed runs
+        return the same ranked top-K regardless of the block size; I/O
+        (``sum_depths``) may grow by up to ``pull_block - 1`` per
+        relation versus per-tuple pulling.
     use_index:
         Serve distance-based access through the k-d tree instead of
         pre-sorting.
@@ -119,6 +149,7 @@ class ProxRJ:
         pull: PullingStrategy,
         k: int,
         bound_period: int = 1,
+        pull_block: int = 1,
         use_index: bool = False,
         stream_factory=None,
         max_pulls: int | None = None,
@@ -129,6 +160,8 @@ class ProxRJ:
             raise ValueError("K must be >= 1")
         if bound_period < 1:
             raise ValueError("bound_period must be >= 1")
+        if pull_block < 1:
+            raise ValueError("pull_block must be >= 1")
         if max_pulls is not None and max_pulls < 1:
             raise ValueError("max_pulls must be >= 1 (or None)")
         dims = {r.dim for r in relations}
@@ -145,13 +178,13 @@ class ProxRJ:
         self.pull = pull
         self.k = k
         self.bound_period = bound_period
+        self.pull_block = pull_block
         self.use_index = use_index
         self.stream_factory = stream_factory
         self.max_pulls = max_pulls
 
     def run(self) -> RunResult:
         """Execute Algorithm 1 and return the instrumented result."""
-        start = time.perf_counter()
         if self.stream_factory is not None:
             streams = self.stream_factory()
             if len(streams) != len(self.relations):
@@ -177,42 +210,90 @@ class ProxRJ:
             if isinstance(self.scoring, QuadraticFormScoring)
             else None
         )
+        # Block mode prunes hopeless blocks before scoring them; per-tuple
+        # mode keeps the paper's exact work profile (the scorer's own
+        # admission filter already handles single pulls).
+        pruner = (
+            CandidatePruner(batch_scorer)
+            if batch_scorer is not None and self.pull_block > 1
+            else None
+        )
+        # The timer starts *after* stream setup: opening streams pre-sorts
+        # or builds indexes, which RunResult.total_seconds documents as
+        # excluded (tuple-fetch preparation, not engine work).
+        start = time.perf_counter()
         t = INFINITY
         pulls = 0
+        pulls_at_bound = 0
         combos_formed = 0
         completed = True
 
-        while len(state.output) < self.k or state.output.kth_score < t:
+        # Stopping rule: the paper's Algorithm 1 stops at kth >= t, which
+        # certifies the top-K *scores* but lets an unseen combination tie
+        # the K-th score — and ties resolve by tuple id, so the retained
+        # representative would depend on the pull schedule (and hence on
+        # pull_block).  We certify strictly (continue while kth <= t): at
+        # termination every unseen combination scores strictly below the
+        # K-th score, making the ranked top-K — tie-breaks included — a
+        # pure function of the data, bit-identical across block sizes,
+        # strategies and the brute-force oracle.  For continuous scores
+        # the equality case has probability zero, so the I/O cost of the
+        # stricter rule is confined to genuinely tied data.
+        while len(state.output) < self.k or state.output.kth_score <= t:
             if all(s.exhausted for s in streams):
                 break  # the cross product is fully enumerated
             if self.max_pulls is not None and pulls >= self.max_pulls:
                 completed = False
                 break
             i = self.pull.choose_input(state, self.bound)
-            tau = streams[i].next()
-            if tau is None:  # pragma: no cover - strategies skip exhausted
+            if streams[i].exhausted:
+                # A misbehaving strategy returned an exhausted stream.
+                # Re-choose here — the single place exhaustion is skipped —
+                # so the loop always makes progress and max_pulls cannot
+                # be bypassed by repeated no-op pulls.
+                i = next(j for j, s in enumerate(streams) if not s.exhausted)
+            budget = self.pull_block
+            if self.max_pulls is not None:
+                budget = min(budget, self.max_pulls - pulls)
+            block = self._pull_from(streams[i], budget)
+            if not block:
+                # The stream only discovered its exhaustion on this pull
+                # (e.g. a remote service returning an empty page); it now
+                # reports exhausted, so the next iteration skips it.
                 continue
-            pulls += 1
+            pulls += len(block)
 
-            # Line 6-7: form combinations P_1 x ... x {tau} x ... x P_n.
+            # Line 6-7: form combinations P_1 x ... x B_i x ... x P_n,
+            # the cross product of the pulled block against the other
+            # relations' seen prefixes, in one vectorised pass.
             pools = [
-                [tau] if j == i else streams[j].seen for j in range(state.n)
+                block if j == i else streams[j].seen for j in range(state.n)
             ]
             if batch_scorer is not None:
-                combos_formed += batch_scorer.add_cross_product(pools, state.output)
+                if pruner is None or pruner.admit(pools, state.output.kth_score):
+                    combos_formed += batch_scorer.add_cross_product(
+                        pools, state.output
+                    )
             else:
                 combos_formed += self._form_combinations(state, pools)
 
-            # Line 9: refresh the bound.  With bound_period > 1 the stale t
-            # is reused between refreshes — bounds only decrease as
-            # accesses accumulate, so a stale t is a correct (looser)
-            # upper bound; schemes synchronise against the streams, so
-            # skipped pulls are absorbed by the next update.
-            if pulls % self.bound_period == 0 or all(s.exhausted for s in streams):
-                t = self.bound.update(state, i, tau)
+            # Line 9: refresh the bound, once per block at most.  With
+            # bound_period > 1 (or blocks) the stale t is reused between
+            # refreshes — bounds only decrease as accesses accumulate, so
+            # a stale t is a correct (looser) upper bound; schemes
+            # synchronise against the streams, so skipped pulls are
+            # absorbed by the next update.
+            if pulls - pulls_at_bound >= self.bound_period or all(
+                s.exhausted for s in streams
+            ):
+                t = self.bound.update(state, i, block[-1])
+                pulls_at_bound = pulls
 
         total = time.perf_counter() - start
         counters = self.bound.counters
+        counter_dict = counters.as_dict()
+        if pruner is not None:
+            counter_dict.update(pruner.as_dict())
         return RunResult(
             combinations=state.output.ranked(),
             depths=state.depths(),
@@ -221,9 +302,24 @@ class ProxRJ:
             bound_seconds=counters.bound_seconds,
             dominance_seconds=counters.dominance_seconds,
             combinations_formed=combos_formed,
-            counters=counters.as_dict(),
+            counters=counter_dict,
             completed=completed,
         )
+
+    @staticmethod
+    def _pull_from(stream, budget: int) -> list[RankTuple]:
+        """Pull up to ``budget`` tuples, via the stream's block API when
+        available (custom streams may only implement ``next``)."""
+        next_block = getattr(stream, "next_block", None)
+        if next_block is not None:
+            return next_block(budget)
+        block: list[RankTuple] = []
+        for _ in range(budget):
+            tau = stream.next()
+            if tau is None:
+                break
+            block.append(tau)
+        return block
 
     def _form_combinations(self, state: EngineState, pools: list[list]) -> int:
         """Materialise and score the cross product of ``pools``."""

@@ -86,15 +86,25 @@ def run_cell(
     settings: ExperimentSettings,
     kind: AccessKind = AccessKind.DISTANCE,
     dominance_period: int | None = None,
+    pull_block: int = 1,
     algorithms: tuple[str, ...] | None = None,
 ) -> CellResult:
-    """Run every algorithm on every problem instance of one cell."""
+    """Run every algorithm on every problem instance of one cell.
+
+    ``pull_block > 1`` runs every algorithm in the engine's block-pull
+    mode (same ranked top-K on completed runs; amortised bound updates
+    and vectorised block scoring).
+    """
     scoring = EuclideanLogScoring(settings.w_s, settings.w_q, settings.w_mu)
     cell = CellResult(label=label)
     algos = algorithms if algorithms is not None else settings.algorithms
     for relations, query in problems:
         for algo in algos:
-            kwargs: dict = {"kind": kind, "max_pulls": settings.max_pulls}
+            kwargs: dict = {
+                "kind": kind,
+                "max_pulls": settings.max_pulls,
+                "pull_block": pull_block,
+            }
             if algo.upper().startswith("TB"):
                 kwargs["dominance_period"] = dominance_period
             engine = make_algorithm(algo, relations, scoring, query, k, **kwargs)
@@ -125,6 +135,7 @@ def run_synthetic_cell(
     settings: ExperimentSettings,
     kind: AccessKind = AccessKind.DISTANCE,
     dominance_period: int | None = None,
+    pull_block: int = 1,
     algorithms: tuple[str, ...] | None = None,
 ) -> CellResult:
     """One Table 2 parameter point over ``settings.seeds`` fresh datasets."""
@@ -148,5 +159,6 @@ def run_synthetic_cell(
         settings=settings,
         kind=kind,
         dominance_period=dominance_period,
+        pull_block=pull_block,
         algorithms=algorithms,
     )

@@ -1,6 +1,19 @@
-"""Remote-service simulation: paged endpoints with latency meters, the
-deployment model (search computing) the paper motivates."""
+"""Service layer: the deployment models (search computing) the paper
+motivates.
 
+* :mod:`repro.service.simulation` — paged *remote* endpoints with
+  latency meters (the relations live behind a simulated network).
+* :mod:`repro.service.rankjoin` — a *local* multi-query
+  :class:`RankJoinService` that runs many queries against shared
+  relations with LRU-cached access orders and the block-pull engine.
+"""
+
+from repro.service.rankjoin import (
+    CachedOrder,
+    CachedOrderStream,
+    RankJoinService,
+    ServiceStats,
+)
 from repro.service.simulation import (
     LatencyModel,
     ServiceEndpoint,
@@ -9,6 +22,10 @@ from repro.service.simulation import (
 )
 
 __all__ = [
+    "CachedOrder",
+    "CachedOrderStream",
+    "RankJoinService",
+    "ServiceStats",
     "LatencyModel",
     "ServiceEndpoint",
     "ServiceStream",

@@ -1,0 +1,369 @@
+"""Shared-stream multi-query rank-join service.
+
+The paper's deployment model is "search computing": many users issue
+proximity rank-join queries against the *same* backing relations.  The
+dominant per-query setup cost is producing each relation's sorted access
+order (distance access re-sorts every relation for every query).  This
+module amortises that cost across queries:
+
+* Queries are **canonicalised** to a bucket grid (coordinates rounded to
+  ``bucket_decimals``); queries identical after rounding share one
+  executed query, one set of cached access orders and — optionally — one
+  cached result.  The engine runs against the canonicalised query, so
+  every answer is exact *for the query it executed*.
+* A thread-safe **LRU cache** maps ``(relation, query-bucket)`` to the
+  relation's full sorted access order (the limit of the "sorted
+  prefixes" a stream reveals).  A cache hit turns stream opening into
+  O(1) bookkeeping; :class:`CachedOrderStream` replays the shared order
+  without re-sorting or copying tuples.
+* :meth:`RankJoinService.submit` runs one query to completion and
+  returns its :class:`~repro.core.template.RunResult`;
+  :meth:`RankJoinService.submit_many` drives a batch through a thread
+  pool (engine runs are independent; only the caches are shared, under a
+  lock).
+
+The service defaults to the engine's block-pull mode (``pull_block=8``),
+which is where the throughput benchmark shows the vectorised engine
+beating per-tuple pulling; see ``benchmarks/test_bench_service_
+throughput.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.access import AccessKind, DistanceAccess, ScoreAccess
+from repro.core.algorithms import make_algorithm
+from repro.core.relation import RankTuple, Relation
+from repro.core.scoring import Scoring
+from repro.core.template import RunResult
+
+__all__ = ["CachedOrder", "CachedOrderStream", "RankJoinService", "ServiceStats"]
+
+
+@dataclass(frozen=True)
+class CachedOrder:
+    """One relation's full access order for one query bucket (immutable).
+
+    ``ranks`` holds the distance per tuple under distance access and the
+    score per tuple under score access, aligned with ``tuples``.
+    """
+
+    kind: AccessKind
+    tuples: tuple[RankTuple, ...]
+    ranks: tuple[float, ...]
+    sigma_max: float
+
+
+class CachedOrderStream:
+    """Replays a :class:`CachedOrder` through the engine's stream API.
+
+    Each run gets its own stream (streams are stateful cursors), but all
+    runs over the same ``(relation, query-bucket)`` share the underlying
+    sorted order — the expensive part.
+    """
+
+    def __init__(self, order: CachedOrder, relation: Relation) -> None:
+        self.kind = order.kind
+        self.relation = relation
+        self._order = order
+        self._pos = 0
+        # Live append-only prefix, as the engine and bounds expect from
+        # ``seen`` (no per-access copying).
+        self._seen: list[RankTuple] = []
+
+    # -- AccessStream interface -------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return self._pos
+
+    @property
+    def seen(self) -> list[RankTuple]:
+        return self._seen
+
+    @property
+    def sigma_max(self) -> float:
+        return self._order.sigma_max
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._order.tuples)
+
+    def next(self) -> RankTuple | None:
+        if self.exhausted:
+            return None
+        tup = self._order.tuples[self._pos]
+        self._pos += 1
+        self._seen.append(tup)
+        return tup
+
+    def next_block(self, limit: int) -> list[RankTuple]:
+        take = min(limit, len(self._order.tuples) - self._pos)
+        if take <= 0:
+            return []
+        block = list(self._order.tuples[self._pos : self._pos + take])
+        self._pos += take
+        self._seen.extend(block)
+        return block
+
+    # -- distance-kind statistics -----------------------------------------
+
+    @property
+    def first_distance(self) -> float:
+        return self._order.ranks[0] if self._pos else 0.0
+
+    @property
+    def last_distance(self) -> float:
+        return self._order.ranks[self._pos - 1] if self._pos else 0.0
+
+    # -- score-kind statistics --------------------------------------------
+
+    @property
+    def first_score(self) -> float:
+        return self._order.ranks[0] if self._pos else self.sigma_max
+
+    @property
+    def last_score(self) -> float:
+        return self._order.ranks[self._pos - 1] if self._pos else self.sigma_max
+
+
+@dataclass
+class ServiceStats:
+    """Meters the service accumulates across submissions.
+
+    Not independently thread-safe: the owning service mutates these
+    counters under its own lock.
+    """
+
+    queries: int = 0
+    stream_cache_hits: int = 0
+    stream_cache_misses: int = 0
+    result_cache_hits: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "queries": self.queries,
+            "stream_cache_hits": self.stream_cache_hits,
+            "stream_cache_misses": self.stream_cache_misses,
+            "result_cache_hits": self.result_cache_hits,
+        }
+
+
+class _LRU:
+    """Minimal bounded LRU mapping (caller holds the lock)."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class RankJoinService:
+    """Serve many proximity rank-join queries over shared relations.
+
+    Parameters
+    ----------
+    relations, scoring:
+        The shared backing relations and the aggregation function.
+    kind:
+        Access kind served to every query.
+    algorithm:
+        Paper algorithm name (CBRR/CBPA/TBRR/TBPA) each query runs.
+    k:
+        Default result size (overridable per :meth:`submit`).
+    pull_block / bound_period:
+        Engine execution knobs, shared by all queries.  The default
+        ``pull_block=8`` runs the block-pull vectorised engine.
+    cache_size:
+        Entries in the ``(relation, query-bucket)`` access-order LRU.
+    result_cache_size:
+        Entries in the ``(query-bucket, k)`` result LRU; 0 disables
+        result caching (stream orders are still shared).
+    bucket_decimals:
+        Queries are rounded to this many decimals before execution;
+        queries identical after rounding share cache entries *and*
+        results.  The default (6) collapses only floating-point noise.
+    max_workers:
+        Thread-pool width for :meth:`submit_many`.
+    max_pulls:
+        Optional per-query pull budget (admission control for hostile
+        queries); cut-off runs report ``completed=False``.
+    """
+
+    def __init__(
+        self,
+        relations: list[Relation],
+        scoring: Scoring,
+        *,
+        kind: AccessKind = AccessKind.DISTANCE,
+        algorithm: str = "TBPA",
+        k: int = 10,
+        pull_block: int = 8,
+        bound_period: int = 1,
+        cache_size: int = 64,
+        result_cache_size: int = 256,
+        bucket_decimals: int = 6,
+        max_workers: int = 4,
+        max_pulls: int | None = None,
+    ) -> None:
+        if not relations:
+            raise ValueError("need at least one relation")
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        if result_cache_size < 0:
+            raise ValueError("result_cache_size must be >= 0")
+        if bucket_decimals < 0:
+            raise ValueError("bucket_decimals must be >= 0")
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.relations = relations
+        self.scoring = scoring
+        self.kind = kind
+        self.algorithm = algorithm
+        self.k = k
+        self.pull_block = pull_block
+        self.bound_period = bound_period
+        self.bucket_decimals = bucket_decimals
+        self.max_workers = max_workers
+        self.max_pulls = max_pulls
+        self.stats = ServiceStats()
+        self._lock = threading.Lock()
+        self._orders = _LRU(cache_size)
+        self._results = _LRU(result_cache_size) if result_cache_size else None
+
+    # -- query canonicalisation -------------------------------------------
+
+    def canonical_query(self, query: np.ndarray) -> np.ndarray:
+        """The query the engine actually executes (bucket representative)."""
+        q = np.round(np.asarray(query, dtype=float), self.bucket_decimals)
+        q = q + 0.0  # collapse -0.0 so buckets straddling zero coincide
+        q.setflags(write=False)
+        return q
+
+    def _bucket_key(self, canonical: np.ndarray) -> bytes:
+        return canonical.tobytes()
+
+    # -- shared access orders ---------------------------------------------
+
+    def _order_for(
+        self, relation: Relation, bucket: bytes, canonical: np.ndarray
+    ) -> CachedOrder:
+        # Score access is query-independent: one cache entry per relation.
+        key = (relation.name, bucket if self.kind is AccessKind.DISTANCE else b"")
+        with self._lock:
+            cached = self._orders.get(key)
+            if cached is not None:
+                self.stats.stream_cache_hits += 1
+                return cached
+            self.stats.stream_cache_misses += 1
+        # Sort outside the lock: concurrent misses may duplicate work but
+        # never block each other; last writer wins with an equal order.
+        if self.kind is AccessKind.DISTANCE:
+            inner = DistanceAccess(relation, canonical)
+            tuples: list[RankTuple] = []
+            ranks: list[float] = []
+            while True:
+                tup = inner.next()
+                if tup is None:
+                    break
+                tuples.append(tup)
+                ranks.append(inner.last_distance)
+        else:
+            inner = ScoreAccess(relation)
+            tuples = []
+            ranks = []
+            while True:
+                tup = inner.next()
+                if tup is None:
+                    break
+                tuples.append(tup)
+                ranks.append(tup.score)
+        order = CachedOrder(
+            kind=self.kind,
+            tuples=tuple(tuples),
+            ranks=tuple(ranks),
+            sigma_max=relation.sigma_max,
+        )
+        with self._lock:
+            self._orders.put(key, order)
+        return order
+
+    def _stream_factory(self, bucket: bytes, canonical: np.ndarray):
+        def factory() -> list[CachedOrderStream]:
+            return [
+                CachedOrderStream(self._order_for(r, bucket, canonical), r)
+                for r in self.relations
+            ]
+
+        return factory
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, query: np.ndarray, k: int | None = None) -> RunResult:
+        """Run one query to completion and return its result.
+
+        Results for the same ``(query-bucket, k)`` may be served from the
+        result cache; :class:`RunResult` is treated as immutable.
+        """
+        k = self.k if k is None else k
+        canonical = self.canonical_query(query)
+        bucket = self._bucket_key(canonical)
+        result_key = (bucket, k)
+        with self._lock:
+            self.stats.queries += 1
+            if self._results is not None:
+                hit = self._results.get(result_key)
+                if hit is not None:
+                    self.stats.result_cache_hits += 1
+                    return hit
+        engine = make_algorithm(
+            self.algorithm,
+            self.relations,
+            self.scoring,
+            canonical,
+            k,
+            kind=self.kind,
+            pull_block=self.pull_block,
+            bound_period=self.bound_period,
+            stream_factory=self._stream_factory(bucket, canonical),
+            max_pulls=self.max_pulls,
+        )
+        result = engine.run()
+        if self._results is not None:
+            with self._lock:
+                self._results.put(result_key, result)
+        return result
+
+    def submit_many(
+        self, queries: list[np.ndarray], k: int | None = None
+    ) -> list[RunResult]:
+        """Run a batch of queries through a thread pool.
+
+        A fresh pool of ``max_workers`` threads is spun up per batch;
+        what is shared across workers (and across batches) are the
+        service's caches and meters.  Results align with ``queries``.
+        """
+        if not queries:
+            return []
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(lambda q: self.submit(q, k), queries))

@@ -149,10 +149,37 @@ class ServiceStream:
         if not self._buffer:
             return None
         tup = self._buffer.pop(0)
+        self._record(tup)
+        return tup
+
+    def next_block(self, limit: int) -> list[RankTuple]:
+        """Pull up to ``limit`` tuples, fetching whole pages as needed.
+
+        Block pulls align naturally with the paged endpoint: one remote
+        call can satisfy many engine pulls, so a block-pull engine pays
+        ``ceil(limit / page_size)`` latencies instead of up to ``limit``.
+        """
+        block: list[RankTuple] = []
+        while len(block) < limit:
+            if not self._buffer and not self._remote_exhausted:
+                page = self.endpoint.fetch_page()
+                if len(page) < self.endpoint.page_size:
+                    self._remote_exhausted = True
+                self._buffer.extend(page)
+            if not self._buffer:
+                break
+            take = min(limit - len(block), len(self._buffer))
+            chunk = self._buffer[:take]
+            del self._buffer[:take]
+            for tup in chunk:
+                self._record(tup)
+            block.extend(chunk)
+        return block
+
+    def _record(self, tup: RankTuple) -> None:
         self._seen.append(tup)
         if self.kind is AccessKind.DISTANCE:
             self._distances.append(float(np.linalg.norm(tup.vector - self._query)))
-        return tup
 
     # -- distance-kind statistics -------------------------------------------
 

@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.core import EuclideanLogScoring, LinearScoring, Relation, TopKBuffer
 from repro.core.batchscore import QuadraticBatchScorer
+from repro.core.relation import RankTuple
 
 
 def pools_from(rng, sizes, d):
@@ -96,6 +97,59 @@ class TestAddCrossProduct:
         buf = TopKBuffer(3)
         assert scorer.add_cross_product([[], []], buf) == 0
         assert len(buf) == 0
+
+    def test_heavy_ties_keep_deterministic_tie_break(self):
+        """With far more than ``k + _SLACK`` equal-score candidates, the
+        partition cut must not drop tied combinations the sequential
+        engine would retain under the tuple-id tie-break (regression:
+        argpartition used to keep an arbitrary subset of the ties)."""
+        scoring = EuclideanLogScoring()
+        query = np.zeros(2)
+        # Every tuple identical in score and vector: all 36 combinations
+        # tie exactly; k + _SLACK = 13 < 36.
+        pools = [
+            [
+                RankTuple(relation=name, tid=tid, score=1.0, vector=np.zeros(2))
+                for tid in range(6)
+            ]
+            for name in ("A", "B")
+        ]
+        scorer = QuadraticBatchScorer(scoring, query)
+        fast = TopKBuffer(5)
+        scorer.add_cross_product(pools, fast)
+
+        slow = TopKBuffer(5)
+        for tuples in itertools.product(*pools):
+            slow.add(scoring.make_combination(tuples, query))
+
+        assert [c.key for c in fast.ranked()] == [c.key for c in slow.ranked()]
+
+    def test_heavy_ties_two_levels(self):
+        """Mixed tie cohorts across the partition boundary."""
+        scoring = EuclideanLogScoring()
+        query = np.zeros(2)
+        pools = []
+        for name in ("A", "B"):
+            tuples = []
+            for tid in range(8):
+                score = 1.0 if tid % 2 == 0 else 0.5
+                vec = [0.0, 0.0] if tid < 4 else [1.0, 0.0]
+                tuples.append(
+                    RankTuple(
+                        relation=name, tid=tid, score=score, vector=np.array(vec)
+                    )
+                )
+            pools.append(tuples)
+        for k in (3, 5, 10):
+            fast = TopKBuffer(k)
+            scorer_fresh = QuadraticBatchScorer(scoring, query)
+            scorer_fresh.add_cross_product(pools, fast)
+            slow = TopKBuffer(k)
+            for tuples in itertools.product(*pools):
+                slow.add(scoring.make_combination(tuples, query))
+            assert [c.key for c in fast.ranked()] == [
+                c.key for c in slow.ranked()
+            ], f"tie cohort dropped at k={k}"
 
     def test_incremental_pulls_match_sequential_engine_semantics(self):
         """Feeding pool batches pull by pull (as the engine does) fills

@@ -1,0 +1,221 @@
+"""Differential tests for the block-pull engine and run-loop regressions.
+
+The acceptance bar: on >= 50 randomized workloads — including tie-heavy
+ones — the block-pull engine, the per-tuple engine and the brute-force
+oracle must agree on the ranked top-K *bit-identically* (same keys, same
+float scores, same tie-break order).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AccessKind,
+    CornerBound,
+    EuclideanLogScoring,
+    ProxRJ,
+    PullingStrategy,
+    Relation,
+    RoundRobin,
+    brute_force_topk,
+    make_algorithm,
+)
+from repro.data import SyntheticConfig, generate_problem
+
+
+def ranked_ids(result_combinations):
+    return [(c.key, c.score) for c in result_combinations]
+
+
+def random_workload(seed):
+    """One randomized (n, d, k, skew) problem instance."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 4))  # n in {2, 3}
+    d = int(rng.choice([2, 8]))
+    k = int(rng.integers(1, 12))
+    skew = float(rng.choice([1.0, 2.0, 4.0]))
+    size = int(rng.integers(8, 16))
+    relations, query = generate_problem(
+        SyntheticConfig(
+            n_relations=n, dims=d, density=50.0, skew=skew,
+            n_tuples=size, seed=seed,
+        )
+    )
+    return relations, query, k
+
+
+def tie_heavy_workload(seed):
+    """Vectors on a tiny integer grid, scores from a two-value set: most
+    combinations collide exactly in aggregate score."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 4))
+    k = int(rng.integers(2, 10))
+    size = int(rng.integers(6, 12))
+    relations = [
+        Relation(
+            f"R{i}",
+            rng.choice([0.5, 1.0], size),
+            rng.choice([-1.0, 0.0, 1.0], (size, 2)),
+            sigma_max=1.0,
+        )
+        for i in range(n)
+    ]
+    return relations, np.zeros(2), k
+
+
+class TestBlockPullDifferential:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_randomized_workloads(self, seed):
+        relations, query, k = random_workload(seed)
+        scoring = EuclideanLogScoring(1.0, 1.0, 1.0)
+        oracle = ranked_ids(brute_force_topk(relations, scoring, query, k))
+        for algo in ("TBPA", "CBRR"):
+            per_tuple = make_algorithm(
+                algo, relations, scoring, query, k, kind=AccessKind.DISTANCE
+            ).run()
+            assert per_tuple.completed
+            assert ranked_ids(per_tuple.combinations) == oracle
+            for block in (3, 8):
+                blocked = make_algorithm(
+                    algo, relations, scoring, query, k,
+                    kind=AccessKind.DISTANCE, pull_block=block,
+                ).run()
+                assert blocked.completed
+                assert ranked_ids(blocked.combinations) == oracle
+
+    @pytest.mark.parametrize("seed", range(30, 55))
+    def test_tie_heavy_workloads(self, seed):
+        relations, query, k = tie_heavy_workload(seed)
+        scoring = EuclideanLogScoring(1.0, 1.0, 1.0)
+        oracle = ranked_ids(brute_force_topk(relations, scoring, query, k))
+        for block in (1, 4, 16):
+            result = make_algorithm(
+                "TBPA", relations, scoring, query, k,
+                kind=AccessKind.DISTANCE, pull_block=block,
+            ).run()
+            assert result.completed
+            assert ranked_ids(result.combinations) == oracle
+
+    def test_score_access_kind(self):
+        relations, query, k = random_workload(99)
+        scoring = EuclideanLogScoring(1.0, 1.0, 1.0)
+        oracle = ranked_ids(brute_force_topk(relations, scoring, query, k))
+        for block in (1, 5):
+            result = make_algorithm(
+                "TBRR", relations, scoring, query, k,
+                kind=AccessKind.SCORE, pull_block=block,
+            ).run()
+            assert ranked_ids(result.combinations) == oracle
+
+    def test_pull_block_validation(self):
+        relations, query, k = random_workload(0)
+        with pytest.raises(ValueError, match="pull_block"):
+            make_algorithm(
+                "CBRR", relations, EuclideanLogScoring(), query, k,
+                pull_block=0,
+            )
+
+    def test_max_pulls_caps_block(self):
+        """A block never overshoots the max_pulls budget."""
+        relations, query, _ = random_workload(7)
+        result = make_algorithm(
+            "CBRR", relations, EuclideanLogScoring(), query, 10,
+            kind=AccessKind.DISTANCE, pull_block=8, max_pulls=5,
+        ).run()
+        assert not result.completed
+        assert result.sum_depths == 5
+
+    def test_pruner_counters_exposed(self):
+        relations, query = generate_problem(
+            SyntheticConfig(
+                n_relations=3, dims=2, density=50.0, skew=1.0,
+                n_tuples=120, seed=5,
+            )
+        )
+        result = make_algorithm(
+            "CBPA", relations, EuclideanLogScoring(), query, 5,
+            kind=AccessKind.DISTANCE, pull_block=16,
+        ).run()
+        assert "blocks_pruned" in result.counters
+        assert "combinations_pruned" in result.counters
+        assert (
+            result.counters["blocks_pruned"] + result.counters["blocks_scored"]
+            > 0
+        )
+
+
+class _StuckStrategy(PullingStrategy):
+    """Misbehaving strategy: always returns relation 0, even exhausted."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def choose_input(self, state, bound):
+        self.calls += 1
+        return 0
+
+
+class TestMisbehavingStrategy:
+    def _problem(self):
+        # R0 exhausts after one pull; a strategy stuck on R0 used to spin
+        # forever without incrementing the pull counter.
+        r0 = Relation("R0", [1.0], [[0.0, 0.0]], sigma_max=1.0)
+        rng = np.random.default_rng(0)
+        r1 = Relation(
+            "R1", rng.uniform(0.1, 1.0, 12), rng.uniform(-2, 2, (12, 2)),
+            sigma_max=1.0,
+        )
+        return [r0, r1], np.zeros(2)
+
+    def test_engine_terminates_and_matches_oracle(self):
+        relations, query = self._problem()
+        scoring = EuclideanLogScoring(1.0, 1.0, 1.0)
+        engine = ProxRJ(
+            relations, scoring, kind=AccessKind.DISTANCE, query=query,
+            bound=CornerBound(), pull=_StuckStrategy(), k=4,
+        )
+        result = engine.run()  # pre-fix: infinite loop
+        assert result.completed
+        oracle = ranked_ids(brute_force_topk(relations, scoring, query, 4))
+        assert ranked_ids(result.combinations) == oracle
+
+    def test_max_pulls_not_bypassed(self):
+        relations, query = self._problem()
+        engine = ProxRJ(
+            relations, EuclideanLogScoring(), kind=AccessKind.DISTANCE,
+            query=query, bound=CornerBound(), pull=_StuckStrategy(), k=30,
+            max_pulls=6,
+        )
+        result = engine.run()
+        assert result.sum_depths <= 6
+
+
+class TestTimerExcludesStreamSetup:
+    def test_slow_stream_factory_not_measured(self):
+        """total_seconds documents that stream setup is excluded; a
+        deliberately slow factory must not inflate it."""
+        rng = np.random.default_rng(3)
+        relations = [
+            Relation(
+                f"R{i}", rng.uniform(0.1, 1.0, 6), rng.uniform(-1, 1, (6, 2)),
+                sigma_max=1.0,
+            )
+            for i in range(2)
+        ]
+        query = np.zeros(2)
+
+        def slow_factory():
+            time.sleep(0.25)
+            from repro.core.access import open_streams
+
+            return open_streams(relations, AccessKind.DISTANCE, query)
+
+        engine = ProxRJ(
+            relations, EuclideanLogScoring(), kind=AccessKind.DISTANCE,
+            query=query, bound=CornerBound(), pull=RoundRobin(), k=3,
+            stream_factory=slow_factory,
+        )
+        result = engine.run()
+        assert result.total_seconds < 0.2

@@ -1,0 +1,154 @@
+"""Tests for the shared-stream multi-query RankJoinService."""
+
+import numpy as np
+import pytest
+
+from repro.core import AccessKind, EuclideanLogScoring, brute_force_topk
+from repro.core.access import DistanceAccess
+from repro.data import SyntheticConfig, generate_problem
+from repro.service import CachedOrderStream, RankJoinService
+
+
+def make_problem(n=2, size=60, seed=0, d=2):
+    return generate_problem(
+        SyntheticConfig(
+            n_relations=n, dims=d, density=50.0, skew=1.0,
+            n_tuples=size, seed=seed,
+        )
+    )
+
+
+def scoring():
+    return EuclideanLogScoring(1.0, 1.0, 1.0)
+
+
+class TestCachedOrderStream:
+    def test_replays_identically_to_distance_access(self):
+        relations, query = make_problem()
+        svc = RankJoinService(relations, scoring(), k=3)
+        canonical = svc.canonical_query(query)
+        order = svc._order_for(relations[0], svc._bucket_key(canonical), canonical)
+        cached = CachedOrderStream(order, relations[0])
+        direct = DistanceAccess(relations[0], canonical)
+        while True:
+            a, b = cached.next(), direct.next()
+            assert a == b
+            if a is None:
+                break
+            assert cached.last_distance == pytest.approx(direct.last_distance)
+        assert cached.exhausted and direct.exhausted
+
+    def test_next_block_advances_seen(self):
+        relations, _ = make_problem()
+        svc = RankJoinService(relations, scoring())
+        q = svc.canonical_query(np.zeros(2))
+        order = svc._order_for(relations[0], svc._bucket_key(q), q)
+        stream = CachedOrderStream(order, relations[0])
+        block = stream.next_block(7)
+        assert len(block) == 7
+        assert stream.seen == block
+        assert stream.depth == 7
+
+
+class TestRankJoinService:
+    def test_matches_oracle(self):
+        relations, query = make_problem()
+        svc = RankJoinService(relations, scoring(), k=5)
+        result = svc.submit(query)
+        assert result.completed
+        oracle = brute_force_topk(relations, scoring(), svc.canonical_query(query), 5)
+        assert [c.key for c in result.combinations] == [c.key for c in oracle]
+
+    def test_matches_per_tuple_engine(self):
+        """Block-pull service output is bit-identical to a cold per-tuple
+        run of the same algorithm on the canonicalised query."""
+        from repro.core import make_algorithm
+
+        relations, query = make_problem(n=3, size=25, seed=4)
+        svc = RankJoinService(relations, scoring(), k=4, pull_block=8)
+        got = svc.submit(query)
+        ref = make_algorithm(
+            "TBPA", relations, scoring(), svc.canonical_query(query), 4,
+            kind=AccessKind.DISTANCE,
+        ).run()
+        assert [(c.key, c.score) for c in got.combinations] == [
+            (c.key, c.score) for c in ref.combinations
+        ]
+
+    def test_stream_cache_shared_across_queries(self):
+        relations, query = make_problem()
+        svc = RankJoinService(relations, scoring(), k=3, result_cache_size=0)
+        svc.submit(query)
+        misses_after_first = svc.stats.stream_cache_misses
+        svc.submit(query)  # same bucket: orders come from the LRU
+        assert svc.stats.stream_cache_misses == misses_after_first
+        assert svc.stats.stream_cache_hits >= len(relations)
+
+    def test_result_cache_hit(self):
+        relations, query = make_problem()
+        svc = RankJoinService(relations, scoring(), k=3)
+        first = svc.submit(query)
+        second = svc.submit(query)
+        assert second is first  # served from the result cache
+        assert svc.stats.result_cache_hits == 1
+
+    def test_distinct_k_not_conflated(self):
+        relations, query = make_problem()
+        svc = RankJoinService(relations, scoring(), k=3)
+        assert len(svc.submit(query, k=3).combinations) == 3
+        assert len(svc.submit(query, k=7).combinations) == 7
+
+    def test_query_bucketing_collapses_noise(self):
+        relations, query = make_problem()
+        svc = RankJoinService(relations, scoring(), k=3, bucket_decimals=4)
+        a = svc.submit(query)
+        b = svc.submit(query + 1e-9)  # rounds into the same bucket
+        assert b is a
+
+    def test_lru_evicts_old_buckets(self):
+        relations, _ = make_problem()
+        svc = RankJoinService(
+            relations, scoring(), k=2, cache_size=2, result_cache_size=0
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(4):
+            svc.submit(rng.uniform(-1, 1, 2))
+        assert len(svc._orders) <= 2
+
+    def test_submit_many_matches_sequential(self):
+        relations, _ = make_problem()
+        svc = RankJoinService(relations, scoring(), k=3, max_workers=4)
+        rng = np.random.default_rng(1)
+        queries = [rng.uniform(-1, 1, 2) for _ in range(12)]
+        batch = svc.submit_many(queries)
+        assert len(batch) == 12
+        for q, got in zip(queries, batch):
+            oracle = brute_force_topk(
+                relations, scoring(), svc.canonical_query(q), 3
+            )
+            assert [c.key for c in got.combinations] == [c.key for c in oracle]
+
+    def test_score_access_kind(self):
+        relations, query = make_problem()
+        svc = RankJoinService(
+            relations, scoring(), kind=AccessKind.SCORE, k=4, algorithm="TBRR"
+        )
+        result = svc.submit(query)
+        oracle = brute_force_topk(relations, scoring(), svc.canonical_query(query), 4)
+        assert [c.key for c in result.combinations] == [c.key for c in oracle]
+
+    def test_max_pulls_admission_control(self):
+        relations, query = make_problem(size=80)
+        svc = RankJoinService(relations, scoring(), k=40, max_pulls=10)
+        result = svc.submit(query)
+        assert not result.completed
+        assert result.sum_depths <= 10
+
+    def test_validation(self):
+        relations, _ = make_problem()
+        with pytest.raises(ValueError, match="at least one"):
+            RankJoinService([], scoring())
+        with pytest.raises(ValueError, match="cache_size"):
+            RankJoinService(relations, scoring(), cache_size=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            RankJoinService(relations, scoring(), max_workers=0)

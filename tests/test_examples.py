@@ -62,6 +62,13 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "Matches brute-force oracle: True" in out
 
+    def test_service_throughput(self, capsys):
+        run_example("service_throughput.py")
+        out = capsys.readouterr().out
+        assert "identical ranked top-K" in out
+        assert "queries/s" in out
+        assert "result-cache hits" in out
+
     def test_explain_run(self, capsys):
         run_example("explain_run.py")
         out = capsys.readouterr().out
