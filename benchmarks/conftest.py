@@ -8,9 +8,23 @@ measurement (the paper's "total CPU time" axis).
 
 A fresh engine is constructed inside every measured round: bounding
 schemes carry per-run synchronisation state and must not be reused.
+
+Besides the pytest-benchmark output, every session writes a
+machine-readable ``BENCH_core.json`` next to the repo root (override the
+path with ``PROXRJ_BENCH_JSON``): one record per benchmarked run with
+wall-clock, ``sum_depths`` and ``combinations_formed``, so successive
+PRs can diff the perf trajectory instead of re-reading logs.  Tests add
+records via :func:`record_bench`; :func:`run_and_record` does it
+automatically.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -24,6 +38,43 @@ ALGORITHMS = ("CBRR", "CBPA", "TBRR", "TBPA")
 #: harness (python -m repro.experiments) is the multi-seed path.
 BENCH_SEED = 0
 N_TUPLES = 400
+
+#: Records accumulated over the session and flushed to BENCH_core.json.
+_BENCH_RECORDS: list[dict] = []
+
+
+def _bench_json_path() -> Path:
+    override = os.environ.get("PROXRJ_BENCH_JSON")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+
+def record_bench(name: str, wall_seconds: float, **metrics) -> None:
+    """Add one record to the session's ``BENCH_core.json``."""
+    record = {"name": name, "wall_seconds": round(float(wall_seconds), 6)}
+    for key, value in metrics.items():
+        if isinstance(value, (np.integer,)):
+            value = int(value)
+        elif isinstance(value, (np.floating,)):
+            value = float(value)
+        record[key] = value
+    _BENCH_RECORDS.append(record)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _BENCH_RECORDS:
+        return
+    payload = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "quick_mode": bool(os.environ.get("PROXRJ_BENCH_QUICK")),
+        "records": _BENCH_RECORDS,
+    }
+    path = _bench_json_path()
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n[bench] wrote {len(_BENCH_RECORDS)} records to {path}")
 
 
 def synthetic_problem(**overrides):
@@ -58,6 +109,13 @@ def run_and_record(benchmark, problem, algo, k=10, *, rounds=1, **algo_kwargs):
     benchmark.extra_info["bound_seconds"] = round(result.bound_seconds, 6)
     benchmark.extra_info["dominance_seconds"] = round(result.dominance_seconds, 6)
     benchmark.extra_info["completed"] = result.completed
+    record_bench(
+        benchmark.name,
+        result.total_seconds,
+        sum_depths=result.sum_depths,
+        combinations_formed=result.combinations_formed,
+        completed=result.completed,
+    )
     return result
 
 

@@ -17,7 +17,7 @@ import os
 import numpy as np
 import pytest
 
-from conftest import synthetic_problem
+from conftest import record_bench, synthetic_problem
 from repro.core import AccessKind, EuclideanLogScoring, make_algorithm
 from repro.service import RankJoinService
 
@@ -64,6 +64,14 @@ def test_blockpull_vs_pertuple(benchmark, algo, n, d):
     benchmark.extra_info["combinations_pruned"] = blocked.counters.get(
         "combinations_pruned", 0
     )
+    record_bench(
+        benchmark.name,
+        blocked.total_seconds,
+        per_tuple_seconds=round(per_tuple_seconds, 6),
+        sum_depths=blocked.sum_depths,
+        combinations_formed=blocked.combinations_formed,
+        speedup=round(per_tuple_seconds / max(blocked.total_seconds, 1e-9), 2),
+    )
     if n == 3:
         # The acceptance claim: block pull wins wall-clock where
         # combination formation dominates.  total_seconds excludes stream
@@ -106,3 +114,50 @@ def test_service_throughput(benchmark, n):
     assert stats["result_cache_hits"] + stats["stream_cache_hits"] > 0
     benchmark.extra_info.update(stats)
     benchmark.extra_info["queries_per_run"] = len(queries)
+    record_bench(
+        benchmark.name,
+        sum(r.total_seconds for r in results),
+        sum_depths=sum(r.sum_depths for r in results),
+        combinations_formed=sum(r.combinations_formed for r in results),
+        **stats,
+    )
+
+
+@pytest.mark.parametrize("algo", ["CBPA", "TBPA"])
+def test_engine_scaling_vs_depth(benchmark, algo):
+    """Trajectory record: engine-loop seconds at growing relation sizes.
+
+    The columnar engine's staged sieve keeps per-block scoring work
+    bounded by the viable-candidate count rather than the full prefix
+    cross product, so engine time should grow subquadratically with
+    ``sum_depths``; the measured (depth, seconds) pairs land in
+    ``BENCH_core.json`` for future PRs to diff.  No hard scaling assert —
+    CI boxes are too noisy — but the trajectory is recorded every run.
+    """
+    sizes = (100, 200) if QUICK else (200, 400, 800)
+    points = []
+
+    def sweep():
+        points.clear()
+        for n_tuples in sizes:
+            problem = synthetic_problem(
+                n_relations=3, dims=8, n_tuples=n_tuples
+            )
+            result = _run(algo, problem, pull_block=BLOCK)
+            points.append(
+                {
+                    "n_tuples": n_tuples,
+                    "sum_depths": result.sum_depths,
+                    "engine_seconds": round(result.total_seconds, 6),
+                }
+            )
+        return points
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["points"] = points
+    for point in points:
+        record_bench(
+            f"scaling[{algo}-n{point['n_tuples']}]",
+            point["engine_seconds"],
+            sum_depths=point["sum_depths"],
+        )

@@ -6,6 +6,7 @@ from repro.core.algorithms import ALGORITHMS, cbpa, cbrr, make_algorithm, tbpa, 
 from repro.core.batchscore import CandidatePruner, QuadraticBatchScorer
 from repro.core.bounds import ApproxTightBound, CornerBound, TightBound
 from repro.core.buffers import TopKBuffer
+from repro.core.columnar import ColumnarPrefix
 from repro.core.naive import brute_force_topk
 from repro.core.probing import ProbeRankJoin, ProbeRunResult
 from repro.core.pulling import PotentialAdaptive, PullingStrategy, RoundRobin
@@ -37,6 +38,7 @@ __all__ = [
     "CornerBound",
     "TightBound",
     "TopKBuffer",
+    "ColumnarPrefix",
     "brute_force_topk",
     "ProbeRankJoin",
     "ProbeRunResult",

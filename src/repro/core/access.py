@@ -7,6 +7,23 @@ exposes exactly the statistics the bounding schemes are allowed to use:
 the distance/score of the first and last tuple retrieved so far, the
 depth, and the relation's ``sigma_max``.
 
+Streams are columnar inside.  Opening a pre-sorted stream vectorises the
+ordering: one distance computation over the relation's stacked ``(N, d)``
+vector matrix, one ``np.lexsort`` keyed by ``(rank, tid)`` (tid as the
+tie-break keeps the stream deterministic, which instance-optimality
+requires), and one fancy-index to materialise the order's columnar
+arrays.  Every stream then maintains a :class:`~repro.core.columnar.
+ColumnarPrefix` — the extracted prefix ``P_i`` as contiguous arrays in
+access order, grown amortised-O(1) per pull — which is what the batch
+scorer, the candidate pruner and the bounding schemes slice instead of
+re-walking ``RankTuple`` lists.  Pre-sorted streams freeze the prefix
+over the full order arrays (pulling just advances a cursor); the k-d
+indexed path appends row by row as the traversal produces tuples.
+
+``next_block`` on the pre-sorted streams slices the materialised order
+directly — no per-tuple calls, bounds checks or exception handling —
+which is the engine's block-pull fast path.
+
 ``DistanceAccess`` can traverse a k-d tree incrementally (the realistic
 spatial-engine path) or pre-sort (simplest correct baseline); both produce
 identical streams and are property-tested against each other.
@@ -19,6 +36,7 @@ from typing import Callable, Iterator, Protocol
 
 import numpy as np
 
+from repro.core.columnar import ColumnarPrefix
 from repro.core.relation import RankTuple, Relation
 from repro.spatial.kdtree import KDTree
 
@@ -62,13 +80,17 @@ class AccessStream(Protocol):
 
 
 class _BaseStream:
-    """Shared depth/exhaustion bookkeeping."""
+    """Shared depth/exhaustion bookkeeping plus the columnar prefix."""
 
     kind: AccessKind
 
     def __init__(self, relation: Relation) -> None:
         self.relation = relation
         self._seen: list[RankTuple] = []
+        #: Columnar view of the seen prefix, in access order.  Subclasses
+        #: that materialise their full order up-front replace this with a
+        #: frozen (cursor-mode) prefix over the order arrays.
+        self.prefix = ColumnarPrefix(relation.dim)
 
     @property
     def depth(self) -> int:
@@ -77,7 +99,7 @@ class _BaseStream:
 
     @property
     def seen(self) -> list[RankTuple]:
-        """The extracted prefix ``P_i`` in access order."""
+        """The extracted prefix ``P_i`` in access order (object view)."""
         return self._seen
 
     @property
@@ -93,9 +115,9 @@ class _BaseStream:
 
         Returns fewer than ``limit`` tuples — possibly none — once the
         stream runs out.  Semantically identical to ``limit`` calls to
-        :meth:`next`; the engine's block-pull mode uses it so stream
-        implementations can amortise per-pull work (e.g. the service
-        simulator serves whole pages).
+        :meth:`next`; pre-sorted streams override this with direct order
+        slicing, and other implementations (e.g. the service simulator)
+        amortise per-pull work such as whole-page fetches.
         """
         block: list[RankTuple] = []
         for _ in range(limit):
@@ -106,7 +128,57 @@ class _BaseStream:
         return block
 
 
-class DistanceAccess(_BaseStream):
+class _SortedOrderMixin:
+    """Shared fast path for streams whose full access order is
+    materialised at open time as columnar arrays.
+
+    Requires ``self._order_tuples`` (list of RankTuple), ``self._order_ranks``
+    (the per-position distance or score array) and a frozen ``self.prefix``
+    over the order's columnar arrays; provides cursor-based ``next`` and
+    slicing ``next_block``.
+    """
+
+    _order_tuples: list[RankTuple]
+    _order_ranks: np.ndarray
+
+    def _attach_order(
+        self,
+        relation: Relation,
+        order: np.ndarray,
+        ranks: np.ndarray,
+    ) -> None:
+        """Materialise the access order ``order`` (tid permutation)."""
+        self._order_tuples = [relation[int(i)] for i in order]
+        self._order_ranks = ranks
+        self.prefix = ColumnarPrefix.from_arrays(
+            relation.vectors[order],
+            relation.scores[order],
+            relation.tids[order],
+        )
+
+    def next(self) -> RankTuple | None:
+        """Pull the next tuple; ``None`` once the relation is exhausted."""
+        pos = len(self._seen)
+        if pos >= len(self._order_tuples):
+            return None
+        tup = self._order_tuples[pos]
+        self._seen.append(tup)
+        self.prefix.advance(1)
+        return tup
+
+    def next_block(self, limit: int) -> list[RankTuple]:
+        """Slice the pre-computed order: one list slice, one cursor move."""
+        pos = len(self._seen)
+        take = min(limit, len(self._order_tuples) - pos)
+        if take <= 0:
+            return []
+        block = self._order_tuples[pos : pos + take]
+        self._seen.extend(block)
+        self.prefix.advance(take)
+        return block
+
+
+class DistanceAccess(_SortedOrderMixin, _BaseStream):
     """Access kind A: tuples in non-decreasing distance from ``query``.
 
     Ties are broken by tuple id, making the stream deterministic (the
@@ -119,7 +191,7 @@ class DistanceAccess(_BaseStream):
     metric:
         Distance function; Euclidean by default.  The incremental k-d
         tree path is only valid for the Euclidean metric; other metrics
-        fall back to pre-sorting.
+        fall back to pre-sorting (each distance computed exactly once).
     use_index:
         Traverse a k-d tree incrementally instead of sorting everything
         up-front.  Results are identical; this mirrors how a spatial
@@ -143,21 +215,27 @@ class DistanceAccess(_BaseStream):
                 f"query shape {self.query.shape} does not match relation "
                 f"dimension {relation.dim}"
             )
-        self._distances: list[float] = []
-        if use_index and metric is None:
-            tree = KDTree(
-                np.array([t.vector for t in relation], dtype=float),
-                payloads=list(relation),
-            )
+        self._indexed = bool(use_index and metric is None)
+        if self._indexed:
+            self._distances: list[float] = []
+            tree = KDTree(relation.vectors, payloads=list(relation))
             self._iter = self._indexed_iter(tree)
         else:
-            dist = metric if metric is not None else _euclid
-            order = sorted(
-                relation, key=lambda t: (dist(t.vector, self.query), t.tid)
-            )
-            self._iter = iter(
-                [(dist(t.vector, self.query), t) for t in order]
-            )
+            if metric is not None:
+                # Custom metric: one evaluation per tuple, reused for both
+                # the sort key and the reported distances.
+                dists = np.fromiter(
+                    (metric(v, self.query) for v in relation.vectors),
+                    dtype=float,
+                    count=len(relation),
+                )
+            else:
+                diff = relation.vectors - self.query
+                dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            # One lexsort over the stacked distance column, tids as the
+            # deterministic secondary key.
+            order = np.lexsort((relation.tids, dists))
+            self._attach_order(relation, order, dists[order])
 
     def _indexed_iter(self, tree: KDTree) -> Iterator[tuple[float, RankTuple]]:
         # The k-d stream is distance-sorted but breaks distance ties
@@ -173,58 +251,69 @@ class DistanceAccess(_BaseStream):
 
     def next(self) -> RankTuple | None:
         """Pull the next tuple; ``None`` once the relation is exhausted."""
+        if not self._indexed:
+            return _SortedOrderMixin.next(self)
         try:
             dist, tup = next(self._iter)
         except StopIteration:
             return None
         self._seen.append(tup)
         self._distances.append(float(dist))
+        self.prefix.append(tup.vector, tup.score, tup.tid)
         return tup
+
+    def next_block(self, limit: int) -> list[RankTuple]:
+        if not self._indexed:
+            return _SortedOrderMixin.next_block(self, limit)
+        return _BaseStream.next_block(self, limit)
+
+    @property
+    def distances(self) -> np.ndarray:
+        """Distances of the seen prefix, aligned with access order."""
+        if self._indexed:
+            return np.asarray(self._distances, dtype=float)
+        return self._order_ranks[: self.depth]
 
     @property
     def first_distance(self) -> float:
         """``delta(x(R_i[1]), q)``; 0 before any access (paper convention)."""
-        return self._distances[0] if self._distances else 0.0
+        if self.depth == 0:
+            return 0.0
+        return float(self._distances[0] if self._indexed else self._order_ranks[0])
 
     @property
     def last_distance(self) -> float:
         """``delta_i = delta(x(R_i[p_i]), q)``; 0 before any access."""
-        return self._distances[-1] if self._distances else 0.0
+        p = self.depth
+        if p == 0:
+            return 0.0
+        return float(
+            self._distances[-1] if self._indexed else self._order_ranks[p - 1]
+        )
 
 
-class ScoreAccess(_BaseStream):
+class ScoreAccess(_SortedOrderMixin, _BaseStream):
     """Access kind B: tuples in non-increasing score, ties by tuple id."""
 
     kind = AccessKind.SCORE
 
     def __init__(self, relation: Relation) -> None:
         super().__init__(relation)
-        self._order = sorted(relation, key=lambda t: (-t.score, t.tid))
-        self._pos = 0
-
-    def next(self) -> RankTuple | None:
-        """Pull the next tuple; ``None`` once the relation is exhausted."""
-        if self._pos >= len(self._order):
-            return None
-        tup = self._order[self._pos]
-        self._pos += 1
-        self._seen.append(tup)
-        return tup
+        # Negation is exact for floats, so (-score, tid) lexsort matches
+        # the canonical sorted(key=(-score, tid)) order bit for bit.
+        order = np.lexsort((relation.tids, -relation.scores))
+        self._attach_order(relation, order, relation.scores[order])
 
     @property
     def first_score(self) -> float:
         """``sigma(R_i[1])``; ``sigma_max`` before any access."""
-        return self._seen[0].score if self._seen else self.sigma_max
+        return float(self._order_ranks[0]) if self.depth else self.sigma_max
 
     @property
     def last_score(self) -> float:
         """``sigma(R_i[p_i])``; ``sigma_max`` before any access."""
-        return self._seen[-1].score if self._seen else self.sigma_max
-
-
-def _euclid(x: np.ndarray, y: np.ndarray) -> float:
-    d = x - y
-    return float(np.sqrt(d @ d))
+        p = self.depth
+        return float(self._order_ranks[p - 1]) if p else self.sigma_max
 
 
 def open_streams(

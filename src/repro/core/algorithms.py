@@ -41,6 +41,7 @@ def _build(
     bound_period: int,
     pull_block: int,
     use_index: bool,
+    vectorise: bool,
     stream_factory,
     max_pulls: int | None,
 ) -> ProxRJ:
@@ -57,6 +58,7 @@ def _build(
         bound_period=bound_period,
         pull_block=pull_block,
         use_index=use_index,
+        vectorise=vectorise,
         stream_factory=stream_factory,
         max_pulls=max_pulls,
     )
@@ -72,6 +74,7 @@ def cbrr(
     bound_period: int = 1,
     pull_block: int = 1,
     use_index: bool = False,
+    vectorise: bool = True,
     stream_factory=None,
     max_pulls: int | None = None,
 ) -> ProxRJ:
@@ -80,7 +83,8 @@ def cbrr(
         relations, scoring, query, k,
         kind=kind, tight=False, adaptive=False,
         dominance_period=None, bound_period=bound_period, pull_block=pull_block,
-        use_index=use_index, stream_factory=stream_factory, max_pulls=max_pulls,
+        use_index=use_index, vectorise=vectorise,
+        stream_factory=stream_factory, max_pulls=max_pulls,
     )
 
 
@@ -94,6 +98,7 @@ def cbpa(
     bound_period: int = 1,
     pull_block: int = 1,
     use_index: bool = False,
+    vectorise: bool = True,
     stream_factory=None,
     max_pulls: int | None = None,
 ) -> ProxRJ:
@@ -102,7 +107,8 @@ def cbpa(
         relations, scoring, query, k,
         kind=kind, tight=False, adaptive=True,
         dominance_period=None, bound_period=bound_period, pull_block=pull_block,
-        use_index=use_index, stream_factory=stream_factory, max_pulls=max_pulls,
+        use_index=use_index, vectorise=vectorise,
+        stream_factory=stream_factory, max_pulls=max_pulls,
     )
 
 
@@ -117,6 +123,7 @@ def tbrr(
     bound_period: int = 1,
     pull_block: int = 1,
     use_index: bool = False,
+    vectorise: bool = True,
     stream_factory=None,
     max_pulls: int | None = None,
 ) -> ProxRJ:
@@ -125,7 +132,7 @@ def tbrr(
         relations, scoring, query, k,
         kind=kind, tight=True, adaptive=False,
         dominance_period=dominance_period, bound_period=bound_period,
-        pull_block=pull_block, use_index=use_index,
+        pull_block=pull_block, use_index=use_index, vectorise=vectorise,
         stream_factory=stream_factory, max_pulls=max_pulls,
     )
 
@@ -141,6 +148,7 @@ def tbpa(
     bound_period: int = 1,
     pull_block: int = 1,
     use_index: bool = False,
+    vectorise: bool = True,
     stream_factory=None,
     max_pulls: int | None = None,
 ) -> ProxRJ:
@@ -149,7 +157,7 @@ def tbpa(
         relations, scoring, query, k,
         kind=kind, tight=True, adaptive=True,
         dominance_period=dominance_period, bound_period=bound_period,
-        pull_block=pull_block, use_index=use_index,
+        pull_block=pull_block, use_index=use_index, vectorise=vectorise,
         stream_factory=stream_factory, max_pulls=max_pulls,
     )
 

@@ -1,4 +1,4 @@
-"""Vectorised combination scoring for quadratic-form aggregations.
+"""Columnar combination scoring for quadratic-form aggregations.
 
 Algorithm 1's line 6 forms ``P_1 x ... x {tau} x ... x P_n`` after every
 pull; with corner-bound algorithms at n >= 3 this cross product is the
@@ -11,16 +11,35 @@ separates::
 
 using ``sum_i ||x_i - mu||^2 = sum_i ||x_i||^2 - (1/n) ||sum_i x_i||^2``
 for the mean centroid.  Both terms are outer sums over the pools, so a
-whole batch is scored with broadcasting; only the handful of candidates
-that can possibly enter the top-K buffer are materialised as
-:class:`Combination` objects (with their score recomputed by the
-canonical scalar path, so downstream ordering is bit-identical to the
-non-vectorised engine).
+whole batch is scored with broadcasting.
 
-:class:`CandidatePruner` lifts the same cached statistics to block
-granularity: the engine's block-pull mode asks it whether a whole block
-cross product can possibly beat the current K-th score, and skips the
-scoring pass entirely when it cannot.
+The hot path is **columnar**: :meth:`QuadraticBatchScorer.bind_streams`
+attaches one :class:`_PrefixSlab` per access stream — a derived
+structure-of-arrays cache, aligned with the stream's
+:class:`~repro.core.columnar.ColumnarPrefix`, holding the centred vectors
+``x - q``, the per-tuple scalar ``w_s u(sigma) - (w_q + w_mu)||x - q||^2``,
+the centred norms, and *running per-prefix maxima* of the pruning
+statistics.  Slabs grow append-only in amortised O(1) per pulled tuple;
+everything downstream indexes by **access position**:
+
+* :meth:`QuadraticBatchScorer.score_ranges` scores a cross product of
+  prefix ranges with pure broadcasting over slab slices — no per-pull
+  Python loop, no ``(relation, tid)`` dict hashing;
+* :meth:`QuadraticBatchScorer.ranges_upper_bound` bounds a block cross
+  product in O(1) per full prefix by reading the running maxima, which
+  makes :meth:`CandidatePruner.admit_ranges` an O(1)-per-block admission
+  test;
+* :meth:`QuadraticBatchScorer.add_cross_ranges` materialises only the
+  handful of candidates that can possibly enter the top-K buffer (their
+  scores recomputed by the canonical scalar path, so downstream ordering
+  is bit-identical to the object-per-tuple engine) and admits them via
+  :meth:`~repro.core.buffers.TopKBuffer.add_many`.
+
+The tuple-list entry points (:meth:`~QuadraticBatchScorer.score_pools`,
+:meth:`~QuadraticBatchScorer.add_cross_product`,
+:meth:`~QuadraticBatchScorer.pools_upper_bound`) remain for arbitrary
+pools — tests, user code and duck-typed streams without a columnar
+prefix — backed by the original per-tuple cache.
 """
 
 from __future__ import annotations
@@ -30,7 +49,7 @@ import math
 import numpy as np
 
 from repro.core.buffers import TopKBuffer
-from repro.core.relation import RankTuple
+from repro.core.relation import Combination, RankTuple
 from repro.core.scoring import QuadraticFormScoring
 
 __all__ = ["QuadraticBatchScorer", "CandidatePruner"]
@@ -39,13 +58,101 @@ __all__ = ["QuadraticBatchScorer", "CandidatePruner"]
 #: reordering between the batched and the canonical score evaluation.
 _SLACK = 8
 
+#: One range of one stream's prefix, by access position: (stream index,
+#: start, stop).  The engine passes (j, 0, depth_j) for the full seen
+#: prefixes and (i, depth_i - b, depth_i) for the pulled block.
+Range = tuple[int, int, int]
+
+
+class _PrefixSlab:
+    """Scoring-derived columnar cache over one stream's prefix.
+
+    Aligned with the stream's access order; row ``p`` derives from the
+    ``p``-th pulled tuple.  Arrays grow by doubling, and each sync
+    vectorises over just the newly pulled suffix, so maintaining a slab
+    costs amortised O(1) per pull.
+    """
+
+    __slots__ = (
+        "scoring",
+        "query",
+        "synced",
+        "centred",
+        "scalar",
+        "norm",
+        "cheap",
+        "max_scalar",
+        "max_norm",
+        "max_cheap",
+    )
+
+    def __init__(self, scoring: QuadraticFormScoring, query: np.ndarray) -> None:
+        self.scoring = scoring
+        self.query = query
+        self.synced = 0
+        d = len(query)
+        cap = 16
+        self.centred = np.empty((cap, d))
+        #: w_s u(sigma) - (w_q + w_mu) ||x - q||^2, the separated scalar.
+        self.scalar = np.empty(cap)
+        self.norm = np.empty(cap)
+        #: scalar + w_mu ||x - q||^2 — the centroid-decoupled relaxation.
+        self.cheap = np.empty(cap)
+        self.max_scalar = np.empty(cap)
+        self.max_norm = np.empty(cap)
+        self.max_cheap = np.empty(cap)
+
+    def _grow(self, needed: int) -> None:
+        cap = len(self.scalar)
+        while cap < needed:
+            cap *= 2
+        p = self.synced
+        for name in self.__slots__[3:]:
+            old = getattr(self, name)
+            fresh = np.empty((cap,) + old.shape[1:])
+            fresh[:p] = old[:p]
+            setattr(self, name, fresh)
+
+    def sync(self, prefix, depth: int) -> None:
+        """Derive rows ``[synced, depth)`` from the stream's raw prefix."""
+        lo = self.synced
+        if depth <= lo:
+            return
+        if depth > len(self.scalar):
+            self._grow(depth)
+        vecs, scores, _ = prefix.arrays(lo, depth)
+        scoring = self.scoring
+        centred = vecs - self.query
+        sq = np.einsum("ij,ij->i", centred, centred)
+        scalar = scoring.w_s * scoring.score_utility_array(scores) - (
+            scoring.w_q + scoring.w_mu
+        ) * sq
+        self.centred[lo:depth] = centred
+        self.scalar[lo:depth] = scalar
+        self.norm[lo:depth] = np.sqrt(sq)
+        cheap = scalar + scoring.w_mu * sq
+        self.cheap[lo:depth] = cheap
+        # Running maxima, seeded with the previous prefix maximum so a
+        # full-prefix bound is one array read.
+        for src, dst in (
+            (self.scalar, self.max_scalar),
+            (self.norm, self.max_norm),
+            (self.cheap, self.max_cheap),
+        ):
+            chunk = src[lo:depth]
+            if lo:
+                chunk = np.maximum(chunk, dst[lo - 1])
+            dst[lo:depth] = np.maximum.accumulate(chunk)
+        self.synced = depth
+
 
 class QuadraticBatchScorer:
     """Batch scorer bound to one (scoring, query) pair.
 
     Per-tuple statistics (utility-minus-distance scalar and the centred
-    feature vector) are cached across calls, so repeated pools — the seen
-    prefixes, re-submitted on every pull — cost array indexing only.
+    feature vector) are cached across calls: columnar slabs indexed by
+    access position for bound streams, a ``(relation, tid)`` dict for the
+    generic tuple-list path.
     """
 
     def __init__(self, scoring: QuadraticFormScoring, query: np.ndarray) -> None:
@@ -54,6 +161,206 @@ class QuadraticBatchScorer:
         self._scalar: dict[tuple[str, int], float] = {}
         self._vector: dict[tuple[str, int], np.ndarray] = {}
         self._norm: dict[tuple[str, int], float] = {}
+        self._streams: list | None = None
+        self._slabs: list[_PrefixSlab] = []
+
+    # -- columnar path -----------------------------------------------------
+
+    def bind_streams(self, streams: list) -> bool:
+        """Attach one prefix slab per stream; True when every stream
+        exposes a columnar prefix (the engine's condition for taking the
+        range-based path).  Duck-typed streams without ``prefix`` keep
+        the tuple-list path."""
+        if not all(getattr(s, "prefix", None) is not None for s in streams):
+            self._streams = None
+            self._slabs = []
+            return False
+        self._streams = streams
+        self._slabs = [_PrefixSlab(self.scoring, self.query) for _ in streams]
+        return True
+
+    def _slab(self, j: int, hi: int) -> _PrefixSlab:
+        slab = self._slabs[j]
+        if slab.synced < hi:
+            slab.sync(self._streams[j].prefix, hi)
+        return slab
+
+    def score_ranges(self, ranges: list[Range]) -> np.ndarray:
+        """Aggregate scores of the cross product of prefix ranges.
+
+        Returns an n-dimensional array indexed like the ranges.  Pure
+        broadcasting over cached slab slices: the per-tuple statistics
+        were derived when the tuples were pulled, so re-scoring a prefix
+        against a new block costs array arithmetic only.
+        """
+        n = len(ranges)
+        acc_scalar = np.zeros(())
+        acc_vec = np.zeros((len(self.query),))
+        for j, lo, hi in ranges:
+            slab = self._slab(j, hi)
+            acc_scalar = acc_scalar[..., None] + slab.scalar[lo:hi]
+            acc_vec = acc_vec[..., None, :] + slab.centred[lo:hi]
+        spread = np.einsum("...d,...d->...", acc_vec, acc_vec)
+        return acc_scalar + (self.scoring.w_mu / n) * spread
+
+    def add_cross_ranges(self, ranges: list[Range], output: TopKBuffer) -> int:
+        """Score the cross product of ``ranges`` and offer the viable
+        candidates to the top-K buffer.  Returns combinations scored.
+
+        The aggregate separates into a broadcast sum of cached per-tuple
+        scalars plus a non-negative spread term, so the K-th score
+        admits a staged sieve that avoids ever materialising the
+        ``(..., d)`` centred-vector broadcast — the dominant memory
+        traffic of dense scoring:
+
+        1. dense scalar grid + *constant* spread cap (range norm maxima,
+           O(1) from the slabs): drops every combination whose scalar sum
+           alone sinks it;
+        2. per-survivor norm-sum cap (gathered, sparse): tightens the
+           spread bound per combination;
+        3. exact spread for the remaining handful.
+
+        Each stage's cap dominates the true score up to float rounding,
+        and the sieve keeps a strict superset of everything within
+        ``1e-9`` of the K-th score (2e-9 thresholds absorb the rounding),
+        so the surviving cohort — and hence the buffer's retained set,
+        which is decided by canonically recomputed scores — is identical
+        to dense scoring's.
+        """
+        if any(hi <= lo for _, lo, hi in ranges):
+            return 0
+        n = len(ranges)
+        w_mu = self.scoring.w_mu
+        kth = output.kth_score
+        slabs = [self._slab(j, hi) for j, _, hi in ranges]
+        acc = np.zeros(())
+        for slab, (_, lo, hi) in zip(slabs, ranges):
+            acc = acc[..., None] + slab.scalar[lo:hi]
+        shape = acc.shape
+        total = acc.size
+        flat_scalar = acc.ravel()
+        coords: tuple[np.ndarray, ...] | None = None
+        if kth == -np.inf:
+            # Buffer not yet full: everything is viable, score densely
+            # (depths are small this early).
+            idx = np.arange(total)
+            exact = self.score_ranges(ranges).ravel()
+        elif w_mu == 0.0:
+            idx = np.nonzero(flat_scalar >= kth - 2e-9)[0]
+            exact = flat_scalar[idx]
+        else:
+            norm_cap = 0.0
+            for slab, (_, lo, hi) in zip(slabs, ranges):
+                norm_cap += (
+                    slab.max_norm[hi - 1] if lo == 0 else slab.norm[lo:hi].max()
+                )
+            spread_cap = (w_mu / n) * norm_cap * norm_cap
+            idx = np.nonzero(flat_scalar >= kth - 2e-9 - spread_cap)[0]
+            if idx.size:
+                coords = np.unravel_index(idx, shape)
+                norm_sum = np.zeros(idx.size)
+                for slab, (_, lo, _), c in zip(slabs, ranges, coords):
+                    norm_sum += slab.norm[lo + c]
+                upper = flat_scalar[idx] + (w_mu / n) * norm_sum * norm_sum
+                alive = upper >= kth - 2e-9
+                idx = idx[alive]
+                coords = tuple(c[alive] for c in coords)
+            if idx.size:
+                vsum = np.zeros((idx.size, len(self.query)))
+                for slab, (_, lo, _), c in zip(slabs, ranges, coords):
+                    vsum += slab.centred[lo + c]
+                exact = flat_scalar[idx] + (w_mu / n) * np.einsum(
+                    "md,md->m", vsum, vsum
+                )
+            else:
+                exact = np.zeros(0)
+        if idx.size == 0:
+            return total
+        # Same viable cut as the dense path (the sieve keeps a superset
+        # of every candidate above the floor, so the floor — and the
+        # selected cohort — matches dense scoring exactly).
+        m = idx.size
+        keep = min(m, output.k + _SLACK)
+        if keep < m:
+            boundary = np.argpartition(exact, m - keep)[m - keep :]
+            floor = max(float(exact[boundary].min()), kth) - 1e-9
+            sel = exact >= floor
+            idx = idx[sel]
+            exact = exact[sel]
+        order = np.argsort(-exact, kind="stable")
+        final = np.unravel_index(idx[order], shape)
+        seens = [self._streams[j].seen for j, _, _ in ranges]
+        offsets = [lo for _, lo, _ in ranges]
+        scoring = self.scoring
+        query = self.query
+        combos = [
+            scoring.make_combination(
+                tuple(
+                    seen[off + int(c)]
+                    for seen, off, c in zip(seens, offsets, pos)
+                ),
+                query,
+            )
+            for pos in zip(*final)
+        ]
+        output.add_many(combos)
+        return total
+
+    def ranges_upper_bound(self, ranges: list[Range]) -> float:
+        """Upper bound on the best score in the cross product of
+        ``ranges`` — O(1) per full prefix via the slabs' running maxima
+        (a suffix range, i.e. the pulled block, reduces over its own
+        (small) slice).  Same two relaxations as
+        :meth:`pools_upper_bound`."""
+        w_mu = self.scoring.w_mu
+        sum_scalar = 0.0
+        norm_sum = 0.0
+        sum_cheap = 0.0
+        for j, lo, hi in ranges:
+            slab = self._slab(j, hi)
+            if lo == 0:
+                pool_scalar = slab.max_scalar[hi - 1]
+                pool_norm = slab.max_norm[hi - 1]
+                pool_cheap = slab.max_cheap[hi - 1]
+            else:
+                pool_scalar = slab.scalar[lo:hi].max()
+                pool_norm = slab.norm[lo:hi].max()
+                pool_cheap = slab.cheap[lo:hi].max()
+            sum_scalar += pool_scalar
+            norm_sum += pool_norm
+            sum_cheap += pool_cheap
+        triangle = sum_scalar + (w_mu / len(ranges)) * norm_sum * norm_sum
+        return float(min(triangle, sum_cheap))
+
+    # -- shared candidate selection ----------------------------------------
+
+    def _viable(self, scores: np.ndarray, output: TopKBuffer) -> np.ndarray:
+        """Flat indices of the candidates worth materialising, sorted
+        best-first by batched score (stable, so downstream tie-breaking
+        stays deterministic)."""
+        total = scores.size
+        flat = scores.ravel()
+        keep = min(total, output.k + _SLACK)
+        if keep < total:
+            # The partition picks *some* keep candidates; with more than
+            # ``keep`` candidates tied at the boundary score it would pick
+            # an arbitrary subset of the ties, while the sequential engine
+            # resolves ties by the deterministic tuple-id key.  Widen the
+            # cut to every candidate tied with the boundary (and drop the
+            # ones that cannot beat the current K-th score even before
+            # materialisation); the buffer then applies the canonical
+            # tie-break over the full tied cohort.  Small epsilons guard
+            # float drift between the batched and the canonical scores.
+            boundary = np.argpartition(flat, total - keep)[total - keep :]
+            floor = max(float(flat[boundary].min()), output.kth_score) - 1e-9
+            idx = np.nonzero(flat >= floor)[0]
+        else:
+            idx = np.arange(total)
+        # Best-first insertion keeps the buffer's tie-breaking identical
+        # to the sequential engine.
+        return idx[np.argsort(-flat[idx], kind="stable")]
+
+    # -- generic tuple-list path -------------------------------------------
 
     def _stats(self, tup: RankTuple) -> tuple[float, np.ndarray]:
         key = (tup.relation, tup.tid)
@@ -72,7 +379,9 @@ class QuadraticBatchScorer:
     def score_pools(self, pools: list[list[RankTuple]]) -> np.ndarray:
         """Aggregate scores of the full cross product of ``pools``.
 
-        Returns an n-dimensional array indexed like the pools.
+        Returns an n-dimensional array indexed like the pools.  Generic
+        path for explicit tuple lists; the engine's stream pools go
+        through :meth:`score_ranges` instead.
         """
         n = len(pools)
         d = len(self.query)
@@ -95,33 +404,15 @@ class QuadraticBatchScorer:
         if any(not pool for pool in pools):
             return 0
         scores = self.score_pools(pools)
-        total = scores.size
-        flat = scores.ravel()
-        keep = min(total, output.k + _SLACK)
-        if keep < total:
-            # The partition picks *some* keep candidates; with more than
-            # ``keep`` candidates tied at the boundary score it would pick
-            # an arbitrary subset of the ties, while the sequential engine
-            # resolves ties by the deterministic tuple-id key.  Widen the
-            # cut to every candidate tied with the boundary (and drop the
-            # ones that cannot beat the current K-th score even before
-            # materialisation); the buffer then applies the canonical
-            # tie-break over the full tied cohort.  Small epsilons guard
-            # float drift between the batched and the canonical scores.
-            boundary = np.argpartition(flat, total - keep)[total - keep :]
-            floor = max(float(flat[boundary].min()), output.kth_score) - 1e-9
-            idx = np.nonzero(flat >= floor)[0]
-        else:
-            idx = np.arange(total)
-        # Best-first insertion keeps the buffer's tie-breaking identical
-        # to the sequential engine.
-        idx = idx[np.argsort(-flat[idx], kind="stable")]
+        idx = self._viable(scores, output)
         shape = scores.shape
+        combos: list[Combination] = []
         for flat_pos in idx:
             coords = np.unravel_index(int(flat_pos), shape)
             tuples = tuple(pool[c] for pool, c in zip(pools, coords))
-            output.add(self.scoring.make_combination(tuples, self.query))
-        return total
+            combos.append(self.scoring.make_combination(tuples, self.query))
+        output.add_many(combos)
+        return scores.size
 
     def pools_upper_bound(self, pools: list[list[RankTuple]]) -> float:
         """Cheap upper bound on the best score in ``prod(pools)``.
@@ -142,9 +433,9 @@ class QuadraticBatchScorer:
 
         The second is what bites for far-away blocks (their ``- w_q
         ||x - q||^2`` term sinks the sum); the first wins when ``w_q`` is
-        tiny.  Costs one cached-dict lookup per pool tuple — no cross
-        product is formed — which is what makes skipping whole blocks
-        profitable.
+        tiny.  Costs one cached-dict lookup per pool tuple — the
+        columnar :meth:`ranges_upper_bound` replaces even that with O(1)
+        running-maxima reads.
         """
         w_mu = self.scoring.w_mu
         sum_scalar = 0.0
@@ -174,12 +465,13 @@ class QuadraticBatchScorer:
 class CandidatePruner:
     """Engine-level admission test for candidate blocks.
 
-    Generalises the batch scorer's per-tuple caching into a block-level
-    filter: before a block cross product is scored, an upper bound on its
-    best achievable aggregate score (:meth:`QuadraticBatchScorer.
-    pools_upper_bound`) is compared against the current K-th score.  A
-    block that provably cannot place a combination into the top-K buffer
-    is skipped without scoring or materialising anything.
+    Before a block cross product is scored, an upper bound on its best
+    achievable aggregate score is compared against the current K-th
+    score.  A block that provably cannot place a combination into the
+    top-K buffer is skipped without scoring or materialising anything.
+    On the columnar path (:meth:`admit_ranges`) the bound reads the
+    slabs' running per-prefix maxima, so admission costs O(1) per block
+    instead of a rescan of every pool tuple.
 
     The bound overestimates, and ties at the K-th score survive the
     epsilon guard, so pruning never changes the engine's ranked top-K —
@@ -192,8 +484,25 @@ class CandidatePruner:
         self.blocks_scored = 0
         self.combinations_pruned = 0
 
+    def admit_ranges(self, ranges: list[Range], kth_score: float) -> bool:
+        """Whether the cross product of prefix ranges must be scored."""
+        if any(hi <= lo for _, lo, hi in ranges):
+            return False  # nothing to form; not counted as a pruned block
+        if kth_score == -np.inf:
+            self.blocks_scored += 1
+            return True
+        if self.scorer.ranges_upper_bound(ranges) < kth_score - 1e-9:
+            self.blocks_pruned += 1
+            size = 1
+            for _, lo, hi in ranges:
+                size *= hi - lo
+            self.combinations_pruned += size
+            return False
+        self.blocks_scored += 1
+        return True
+
     def admit(self, pools: list[list[RankTuple]], kth_score: float) -> bool:
-        """Whether the block's cross product must be scored."""
+        """Tuple-list variant of :meth:`admit_ranges`."""
         if any(not pool for pool in pools):
             return False  # nothing to form; not counted as a pruned block
         if kth_score == -np.inf:

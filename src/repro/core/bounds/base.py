@@ -51,6 +51,31 @@ class EngineState:
         """Number of joined relations."""
         return len(self.streams)
 
+    def prefix_arrays(
+        self, i: int, lo: int = 0, hi: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Columnar ``(vectors, scores, tids)`` of stream ``i``'s seen
+        prefix rows ``[lo, hi)``, in access order.
+
+        Zero-copy slices of the stream's
+        :class:`~repro.core.columnar.ColumnarPrefix` when it has one;
+        duck-typed streams without a columnar prefix fall back to
+        materialising the arrays from their ``seen`` list.  Bounding
+        schemes build their partial-combination batches from these
+        instead of walking ``RankTuple`` objects.
+        """
+        stream = self.streams[i]
+        prefix = getattr(stream, "prefix", None)
+        if prefix is not None:
+            return prefix.arrays(lo, hi)
+        seen = stream.seen[lo : len(stream.seen) if hi is None else hi]
+        d = len(self.query)
+        return (
+            np.array([t.vector for t in seen], dtype=float).reshape(len(seen), d),
+            np.array([t.score for t in seen], dtype=float),
+            np.array([t.tid for t in seen], dtype=np.int64),
+        )
+
     def depths(self) -> list[int]:
         """Current depth ``p_i`` per relation."""
         return [s.depth for s in self.streams]

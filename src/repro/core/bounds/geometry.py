@@ -270,9 +270,12 @@ def solve_completion_batch(
     h = spread_matrix(n, scoring.w_q, scoring.w_mu)
     qp_vals, thetas = solve_bound_qp_batch(h, member_idx, proj, lower_idx, lower_vals)
 
-    utility = np.vectorize(scoring.score_utility, otypes=[float])
     score_term = scoring.w_s * (
-        (utility(scores).sum(axis=1) if m else np.zeros(num_entries))
+        (
+            scoring.score_utility_array(scores).sum(axis=1)
+            if m
+            else np.zeros(num_entries)
+        )
         + sum(scoring.score_utility(unseen_sigma[j]) for j in lower_idx)
     )
     values = score_term - qp_vals - (scoring.w_q + scoring.w_mu) * residual_sq
@@ -407,12 +410,11 @@ def dominance_coefficients_batch(
     nu = xs.mean(axis=1)  # (E, d)
     b = -w_mu * (n - m) * (m / n) * nu
     shifted = xs - (m / n) * nu[:, None, :]
-    utility = np.vectorize(scoring.score_utility, otypes=[float])
     c = (
         w_mu * (n - m) * (m * m) / (n * n) * np.einsum("ed,ed->e", nu, nu)
         + w_mu * np.einsum("emd,emd->e", shifted, shifted)
         + w_q * np.einsum("emd,emd->e", xs, xs)
-        - w_s * utility(scores).sum(axis=1)
+        - w_s * scoring.score_utility_array(scores).sum(axis=1)
         - w_s * sum(scoring.score_utility(unseen_sigma[j]) for j in unseen_sigma)
     )
     return b, c

@@ -11,6 +11,14 @@ instance-optimality (Theorem 3.3).
 Bookkeeping follows Algorithm 2 (distance access) and Algorithm 3 (score
 access), with the engineering refinements called out in DESIGN.md:
 
+* ``PC(M)`` is stored **columnar**: one aligned set of growing arrays per
+  subset (member scores ``(E, m)``, member vectors ``(E, m, d)``, bound
+  values ``t``, cached optima ``theta``, dominance flags/coefficients).
+  New partial combinations are gathered straight from the streams'
+  columnar prefix arrays (via :meth:`EngineState.prefix_arrays`) as
+  position-grid batches, QP-solved in one vectorised call, and appended
+  in amortised O(1) per entry; staleness scans and per-subset maxima are
+  array reductions instead of per-entry Python loops.
 * The scheme synchronises against the streams' seen prefixes, so the
   engine may invoke it only every ``bound_period`` pulls (the paper's
   practical-systems trade-off) and the incremental cross-product still
@@ -31,7 +39,6 @@ access), with the engineering refinements called out in DESIGN.md:
 
 from __future__ import annotations
 
-import itertools
 import time
 
 import numpy as np
@@ -51,55 +58,99 @@ __all__ = ["TightBound"]
 
 _EPS = 1e-9
 _MAX_RELATIONS = 10
-
-
-class _Entry:
-    """One partial combination in ``PC(M)`` with its cached solution.
-
-    ``scores``/``vecs`` hold the member tuples' data aligned with the
-    subset's sorted member relations (shape ``(m,)`` / ``(m, d)``).
-    """
-
-    __slots__ = (
-        "key", "scores", "vecs", "t", "theta", "dominated", "b", "c", "witness"
-    )
-
-    def __init__(self, key: tuple[int, ...], scores: np.ndarray, vecs: np.ndarray):
-        self.key = key
-        self.scores = scores
-        self.vecs = vecs
-        self.t = NEG_INFINITY
-        self.theta: np.ndarray | None = None
-        self.dominated = False
-        self.b: np.ndarray | None = None
-        self.c: float = 0.0
-        self.witness: np.ndarray | None = None
-
-    def seen_dict(self, members: tuple[int, ...]) -> dict[int, tuple[float, np.ndarray]]:
-        """Member data as the mapping the scalar geometry helpers expect."""
-        return {
-            j: (float(self.scores[r]), self.vecs[r]) for r, j in enumerate(members)
-        }
+_MIN_CAPACITY = 8
 
 
 class _SubsetState:
-    """All bookkeeping for one proper subset ``M``."""
+    """All bookkeeping for one proper subset ``M``, stored columnar.
 
-    __slots__ = ("mask", "members", "others", "entries", "dead", "t_max")
+    ``count`` entries live in creation order across aligned arrays;
+    ``dominated`` rows are skipped by maxima and revalidation but remain
+    as dominance competitors.  ``theta`` rows of ``-inf`` mark optima
+    that have never been solved (the ``M = {}`` seed), forcing a first
+    solve through the staleness scan.
+    """
 
-    def __init__(self, mask: int, n: int):
+    __slots__ = (
+        "mask",
+        "members",
+        "others",
+        "dead",
+        "t_max",
+        "count",
+        "scores",
+        "vecs",
+        "t",
+        "theta",
+        "dominated",
+        "b",
+        "c",
+        "witness",
+    )
+
+    def __init__(self, mask: int, n: int, d: int):
         self.mask = mask
         self.members = tuple(i for i in range(n) if mask >> i & 1)
         self.others = tuple(i for i in range(n) if not mask >> i & 1)
-        self.entries: dict[tuple[int, ...], _Entry] = {}
         self.dead = False
+        self.t_max = NEG_INFINITY
+        self.count = 0
+        m = len(self.members)
+        cap = _MIN_CAPACITY
+        self.scores = np.empty((cap, m))
+        self.vecs = np.empty((cap, m, d))
+        self.t = np.full(cap, NEG_INFINITY)
+        self.theta = np.full((cap, n), NEG_INFINITY)
+        self.dominated = np.zeros(cap, dtype=bool)
+        self.b = np.empty((cap, d))
+        self.c = np.empty(cap)
+        self.witness = np.full((cap, d), np.nan)
+
+    def _grow(self, needed: int) -> None:
+        cap = len(self.t)
+        while cap < needed:
+            cap *= 2
+        p = self.count
+        for name, fill in (
+            ("scores", None),
+            ("vecs", None),
+            ("t", NEG_INFINITY),
+            ("theta", NEG_INFINITY),
+            ("dominated", False),
+            ("b", None),
+            ("c", None),
+            ("witness", np.nan),
+        ):
+            old = getattr(self, name)
+            fresh = (
+                np.empty((cap,) + old.shape[1:], dtype=old.dtype)
+                if fill is None
+                else np.full((cap,) + old.shape[1:], fill, dtype=old.dtype)
+            )
+            fresh[:p] = old[:p]
+            setattr(self, name, fresh)
+
+    def append(self, scores: np.ndarray, vecs: np.ndarray) -> int:
+        """Append an entry batch; returns the first new row index."""
+        e = len(scores)
+        lo = self.count
+        if lo + e > len(self.t):
+            self._grow(lo + e)
+        self.scores[lo : lo + e] = scores
+        self.vecs[lo : lo + e] = vecs
+        self.dominated[lo : lo + e] = False
+        self.witness[lo : lo + e] = np.nan
+        self.count = lo + e
+        return lo
+
+    def clear(self) -> None:
+        self.count = 0
         self.t_max = NEG_INFINITY
 
     def recompute_max(self) -> None:
-        self.t_max = max(
-            (e.t for e in self.entries.values() if not e.dominated),
-            default=NEG_INFINITY,
-        )
+        cnt = self.count
+        live = self.t[:cnt][~self.dominated[:cnt]]
+        self.t_max = float(live.max()) if live.size else NEG_INFINITY
 
 
 class TightBound(BoundingScheme):
@@ -143,14 +194,14 @@ class TightBound(BoundingScheme):
                     "family); other scorings need the numeric fallback of "
                     "repro.core.bounds.numeric"
                 )
-            self._subsets = [_SubsetState(mask, n) for mask in range((1 << n) - 1)]
+            d = len(state.query)
+            self._subsets = [
+                _SubsetState(mask, n, d) for mask in range((1 << n) - 1)
+            ]
             # Seed M = {} with its single "empty tuple" partial combination
             # (Appendix B.1): it bounds combinations unseen in every slot.
-            # Its lazily-None theta forces a solve on first use.
-            d = len(state.query)
-            self._subsets[0].entries[()] = _Entry(
-                (), np.zeros(0), np.zeros((0, d))
-            )
+            # Its -inf theta row forces a solve on first use.
+            self._subsets[0].append(np.zeros((1, 0)), np.zeros((1, 0, d)))
             self._synced = [0] * n
         return self._subsets
 
@@ -190,37 +241,54 @@ class TightBound(BoundingScheme):
                 continue
             if any(state.streams[j].exhausted for j in sub.others):
                 sub.dead = True
-                sub.entries.clear()
-                sub.t_max = NEG_INFINITY
+                sub.clear()
 
-    def _new_member_pools(
+    def _new_member_batch(
         self, state: EngineState, sub: _SubsetState, new_counts: list[int]
-    ) -> "itertools.chain[tuple[RankTuple, ...]]":
-        """Iterate the partial combinations of ``M`` that use at least one
-        tuple pulled since the last sync, each exactly once.
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gather the partial combinations of ``M`` that use at least one
+        tuple pulled since the last sync, each exactly once, as stacked
+        ``(E, m)`` scores and ``(E, m, d)`` vectors.
 
         Standard incremental cross-product: for the ``r``-th member
-        relation, combine its *new* tuples with the full current prefixes
-        of earlier members and the old prefixes of later members.
+        relation, combine its *new* access positions with the full
+        current prefixes of earlier members and the old prefixes of later
+        members.  Position index grids are fancy-indexed against the
+        streams' columnar prefix arrays, so no ``RankTuple`` is touched;
+        chunks keep the canonical row-major creation order.
         """
-        chunks = []
         members = sub.members
+        pos_chunks: list[np.ndarray] = []
         for r, j in enumerate(members):
             if new_counts[j] == 0:
                 continue
-            pools: list[list[RankTuple]] = []
+            spans = []
             for r2, l in enumerate(members):
-                seen = state.streams[l].seen
                 if r2 < r:
-                    pools.append(seen)
+                    spans.append((0, state.streams[l].depth))
                 elif r2 == r:
-                    pools.append(seen[self._synced[l] :])
+                    spans.append((self._synced[l], state.streams[l].depth))
                 else:
-                    pools.append(seen[: self._synced[l]])
-            if any(not p for p in pools):
+                    spans.append((0, self._synced[l]))
+            if any(hi <= lo for lo, hi in spans):
                 continue
-            chunks.append(itertools.product(*pools))
-        return itertools.chain(*chunks)
+            grids = np.meshgrid(
+                *[np.arange(lo, hi) for lo, hi in spans], indexing="ij"
+            )
+            pos_chunks.append(np.stack([g.ravel() for g in grids], axis=1))
+        m = len(members)
+        d = len(state.query)
+        if not pos_chunks:
+            return np.zeros((0, m)), np.zeros((0, m, d))
+        pos = np.concatenate(pos_chunks, axis=0)
+        per_member = [state.prefix_arrays(l) for l in members]
+        scores = np.stack(
+            [col[1][pos[:, c]] for c, col in enumerate(per_member)], axis=1
+        )
+        vecs = np.stack(
+            [col[0][pos[:, c]] for c, col in enumerate(per_member)], axis=1
+        )
+        return scores, vecs
 
     # -- distance access (Algorithm 2) ---------------------------------------
 
@@ -247,67 +315,51 @@ class TightBound(BoundingScheme):
             unseen_sigma = {j: sigma_max[j] for j in sub.others}
 
             # New partial combinations (subsets intersecting the new
-            # pulls), solved as one vectorised batch per subset.
-            new_entries = []
-            for chosen in self._new_member_pools(state, sub, new_counts):
-                key = tuple(t.tid for t in chosen)
-                new_entries.append(
-                    _Entry(
-                        key,
-                        np.array([t.score for t in chosen]),
-                        np.array([t.vector for t in chosen], dtype=float).reshape(
-                            len(chosen), -1
-                        ),
-                    )
-                )
-            if new_entries:
-                scores = np.array([e.scores for e in new_entries])
-                vecs = np.array([e.vecs for e in new_entries])
+            # pulls), gathered columnar and solved as one vectorised
+            # batch per subset.
+            new_scores, new_vecs = self._new_member_batch(state, sub, new_counts)
+            e_new = len(new_scores)
+            if e_new:
                 values, thetas = solve_completion_batch(
-                    scoring, n, state.query, members, scores, vecs,
+                    scoring, n, state.query, members, new_scores, new_vecs,
                     unseen_delta, unseen_sigma,
                 )
+                lo = sub.append(new_scores, new_vecs)
+                sub.t[lo : lo + e_new] = values
+                sub.theta[lo : lo + e_new] = thetas
                 if track_dominance:
                     bs, cs = dominance_coefficients_batch(
-                        scoring, n, state.query, scores, vecs, unseen_sigma
+                        scoring, n, state.query, new_scores, new_vecs,
+                        unseen_sigma,
                     )
-                for r, entry in enumerate(new_entries):
-                    entry.t = float(values[r])
-                    entry.theta = thetas[r]
-                    if track_dominance:
-                        entry.b = bs[r]
-                        entry.c = float(cs[r])
-                    sub.entries[entry.key] = entry
-                self.counters.qp_solves += len(new_entries)
-                self.counters.entries_created += len(new_entries)
+                    sub.b[lo : lo + e_new] = bs
+                    sub.c[lo : lo + e_new] = cs
+                self.counters.qp_solves += e_new
+                self.counters.entries_created += e_new
 
             # Revalidate cached optima where an unseen delta grew
             # (Algorithm 2's "i not in M" branch, feasibility fast path:
             # a cached optimum that still satisfies the new, tighter
-            # constraints remains optimal).
+            # constraints remains optimal).  One array reduction over the
+            # subset's theta columns replaces the per-entry scan.
             grown = [j for j in sub.others if new_counts[j] > 0]
-            if grown:
-                stale = [
-                    entry
-                    for entry in sub.entries.values()
-                    if not entry.dominated
-                    and (
-                        entry.theta is None
-                        or any(entry.theta[j] < deltas[j] - _EPS for j in grown)
-                    )
-                ]
-                if stale:
-                    scores = np.array([e.scores for e in stale])
-                    vecs = np.array([e.vecs for e in stale])
+            if grown and sub.count:
+                cnt = sub.count
+                lows = np.array([deltas[j] for j in grown]) - _EPS
+                stale = ~sub.dominated[:cnt] & (
+                    sub.theta[:cnt][:, grown] < lows
+                ).any(axis=1)
+                idx = np.flatnonzero(stale)
+                if idx.size:
                     values, thetas = solve_completion_batch(
-                        scoring, n, state.query, members, scores, vecs,
+                        scoring, n, state.query, members,
+                        sub.scores[idx], sub.vecs[idx],
                         unseen_delta, unseen_sigma,
                     )
-                    for r, entry in enumerate(stale):
-                        entry.t = float(values[r])
-                        entry.theta = thetas[r]
-                    self.counters.qp_solves += len(stale)
-                    self.counters.entries_revalidated += len(stale)
+                    sub.t[idx] = values
+                    sub.theta[idx] = thetas
+                    self.counters.qp_solves += idx.size
+                    self.counters.entries_revalidated += idx.size
             sub.recompute_max()
 
         if track_dominance and self.dominance_period is not None:
@@ -325,32 +377,23 @@ class TightBound(BoundingScheme):
         for sub in subsets:
             if sub.dead or not sub.members:
                 continue
-            entries = list(sub.entries.values())
-            live = [e for e in entries if not e.dominated]
-            if len(live) < 2:
+            cnt = sub.count
+            if cnt - int(sub.dominated[:cnt].sum()) < 2:
                 continue
             m = len(sub.members)
             # Shared quadratic coefficient of eq. (24) for this subset.
             quad = scoring.w_q * (n - m) + scoring.w_mu * (m / n) * (n - m)
-            bs = np.array([e.b for e in entries])
-            cs = np.array([e.c for e in entries])
-            before = np.array([e.dominated for e in entries])
-            witnesses = np.array(
-                [
-                    e.witness if e.witness is not None else np.full(bs.shape[1], np.nan)
-                    for e in entries
-                ]
-            )
+            before = sub.dominated[:cnt].copy()
+            # dominated_mask updates the witness rows in place, so cached
+            # non-emptiness certificates persist across passes.
             after, lp_count = dominated_mask(
-                bs, cs, before, quad_coeff=quad, witnesses=witnesses
+                sub.b[:cnt], sub.c[:cnt], before,
+                quad_coeff=quad, witnesses=sub.witness[:cnt],
             )
             self.counters.lp_solves += lp_count
-            for idx, (entry, dom) in enumerate(zip(entries, after)):
-                if dom and not entry.dominated:
-                    entry.dominated = True
-                    self.counters.entries_dominated += 1
-                elif not dom and not np.isnan(witnesses[idx, 0]):
-                    entry.witness = witnesses[idx]
+            newly = after & ~sub.dominated[:cnt]
+            self.counters.entries_dominated += int(newly.sum())
+            sub.dominated[:cnt] = after
         self.counters.dominance_seconds += time.perf_counter() - start
 
     # -- score access (Algorithm 3) -------------------------------------------
@@ -371,43 +414,54 @@ class TightBound(BoundingScheme):
         for sub in subsets:
             if sub.dead:
                 continue
+            members = list(sub.members)
             unseen_sigma = {j: last_scores[j] for j in sub.others}
 
             # Refresh the incumbent first (an unseen last-score may have
             # dropped), then challenge it with every new partial
             # combination; Algorithm 3 retains only the best entry per
-            # subset.  Relative order inside PC(M) is unaffected by the
-            # refresh (Appendix C), so keeping a single incumbent is safe.
-            best: _Entry | None = next(iter(sub.entries.values()), None)
-            if best is not None and any(new_counts[j] > 0 for j in sub.others):
+            # subset (row 0).  Relative order inside PC(M) is unaffected
+            # by the refresh (Appendix C), so a single incumbent is safe.
+            if sub.count and any(new_counts[j] > 0 for j in sub.others):
                 result = score_access_completion(
-                    scoring, n, state.query, best.seen_dict(sub.members), unseen_sigma
+                    scoring, n, state.query,
+                    self._row_dict(sub, 0), unseen_sigma,
                 )
-                best.t = result.value
+                sub.t[0] = result.value
                 self.counters.closed_form_evals += 1
-            for chosen in self._new_member_pools(state, sub, new_counts):
-                key = tuple(t.tid for t in chosen)
-                entry = _Entry(
-                    key,
-                    np.array([t.score for t in chosen]),
-                    np.array([t.vector for t in chosen], dtype=float).reshape(
-                        len(chosen), -1
-                    ),
-                )
+            new_scores, new_vecs = self._new_member_batch(state, sub, new_counts)
+            for e in range(len(new_scores)):
+                seen = {
+                    j: (float(new_scores[e, r]), new_vecs[e, r])
+                    for r, j in enumerate(members)
+                }
                 result = score_access_completion(
-                    scoring, n, state.query, entry.seen_dict(sub.members), unseen_sigma
+                    scoring, n, state.query, seen, unseen_sigma
                 )
-                entry.t = result.value
                 self.counters.closed_form_evals += 1
                 self.counters.entries_created += 1
-                if best is None or entry.t > best.t:
-                    if best is not None:
+                if sub.count == 0 or result.value > sub.t[0]:
+                    if sub.count:
                         self.counters.entries_dominated += 1
-                    best = entry
+                    if sub.count == 0:
+                        sub.append(new_scores[e : e + 1], new_vecs[e : e + 1])
+                    else:
+                        sub.scores[0] = new_scores[e]
+                        sub.vecs[0] = new_vecs[e]
+                    sub.t[0] = result.value
                 else:
                     self.counters.entries_dominated += 1
-
-            sub.entries = {best.key: best} if best is not None else {}
+            sub.count = min(sub.count, 1)
             sub.recompute_max()
 
         return max((sub.t_max for sub in subsets if not sub.dead), default=NEG_INFINITY)
+
+    @staticmethod
+    def _row_dict(
+        sub: _SubsetState, row: int
+    ) -> dict[int, tuple[float, np.ndarray]]:
+        """Entry row as the mapping the scalar geometry helpers expect."""
+        return {
+            j: (float(sub.scores[row, r]), sub.vecs[row, r])
+            for r, j in enumerate(sub.members)
+        }

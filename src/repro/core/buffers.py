@@ -9,7 +9,7 @@ correctness).
 from __future__ import annotations
 
 import heapq
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.core.relation import Combination
 
@@ -84,6 +84,41 @@ class TopKBuffer:
             self._keys.add(combo.key)
             return True
         return False
+
+    def add_many(self, combos: Iterable[Combination]) -> int:
+        """Offer a batch of combinations, best-first; returns how many
+        were retained.
+
+        Semantically identical to calling :meth:`add` per combination,
+        but candidates that cannot enter the buffer are rejected with a
+        raw ``(score, neg-key)`` comparison against the current worst
+        retained entry — no ``_Entry`` construction, and the negated
+        tie-key tuple is only built when scores actually tie.  The batch
+        scorer feeds its surviving candidates through here.
+        """
+        heap = self._heap
+        k = self.k
+        keys = self._keys
+        added = 0
+        for combo in combos:
+            if len(heap) >= k:
+                worst = heap[0]._k
+                score = combo.score
+                if score < worst[0]:
+                    continue
+                if score == worst[0] and tuple(-t for t in combo.key) <= worst[1]:
+                    continue
+                if combo.key in keys:
+                    continue
+                evicted = heapq.heapreplace(heap, _Entry(combo))
+                keys.discard(evicted.combo.key)
+            else:
+                if combo.key in keys:
+                    continue
+                heapq.heappush(heap, _Entry(combo))
+            keys.add(combo.key)
+            added += 1
+        return added
 
     def ranked(self) -> list[Combination]:
         """Retained combinations, best first (deterministic order)."""

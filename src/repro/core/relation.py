@@ -6,6 +6,12 @@ real-valued feature vector ``x(tau)`` and a score ``sigma(tau)``.  A
 bounding schemes need (``sigma_max``, dimensionality).  A
 :class:`Combination` is an element of the cross product with its aggregate
 score.
+
+Relations are stored columnar-first: the constructor keeps one contiguous
+``(N, d)`` vector matrix and ``(N,)`` score/tid arrays (the
+structure-of-arrays views the access streams lexsort and slice), and the
+``RankTuple`` objects are row views over them — the object layer for
+display, canonical scoring and provenance, not the hot path.
 """
 
 from __future__ import annotations
@@ -90,7 +96,7 @@ class Relation:
         attrs: Sequence[Mapping[str, Any]] | None = None,
         sigma_max: float | None = None,
     ) -> None:
-        vecs = np.atleast_2d(np.asarray(vectors, dtype=float))
+        vecs = np.atleast_2d(np.array(vectors, dtype=float))
         if len(scores) != len(vecs):
             raise ValueError(
                 f"relation {name!r}: {len(scores)} scores but {len(vecs)} vectors"
@@ -102,17 +108,27 @@ class Relation:
         if len(vecs) == 0:
             raise ValueError(f"relation {name!r} must contain at least one tuple")
         self.name = name
+        # Contiguous columnar views; frozen so the RankTuple row views
+        # (and any stream slices of these) are immutable too.
+        vecs.setflags(write=False)
+        score_col = np.array([float(s) for s in scores], dtype=float)
+        score_col.setflags(write=False)
+        tid_col = np.arange(len(vecs), dtype=np.int64)
+        tid_col.setflags(write=False)
+        self._vectors = vecs
+        self._scores = score_col
+        self._tids = tid_col
         self._tuples = [
             RankTuple(
                 relation=name,
                 tid=i,
-                score=float(scores[i]),
+                score=float(score_col[i]),
                 vector=vecs[i],
                 attrs=dict(attrs[i]) if attrs is not None else {},
             )
             for i in range(len(vecs))
         ]
-        observed_max = max(t.score for t in self._tuples)
+        observed_max = float(score_col.max())
         if sigma_max is not None and sigma_max < observed_max - 1e-12:
             raise ValueError(
                 f"relation {name!r}: sigma_max={sigma_max} below observed "
@@ -123,7 +139,22 @@ class Relation:
     @property
     def dim(self) -> int:
         """Dimensionality ``d`` of the feature space."""
-        return int(self._tuples[0].vector.shape[0])
+        return int(self._vectors.shape[1])
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """All feature vectors as one read-only ``(N, d)`` matrix."""
+        return self._vectors
+
+    @property
+    def scores(self) -> np.ndarray:
+        """All scores as one read-only ``(N,)`` array."""
+        return self._scores
+
+    @property
+    def tids(self) -> np.ndarray:
+        """Tuple ids ``0..N-1`` as one read-only ``(N,)`` array."""
+        return self._tids
 
     def __len__(self) -> int:
         return len(self._tuples)

@@ -111,6 +111,17 @@ class QuadraticFormScoring(Scoring):
     def score_utility(self, score: float) -> float:
         """The transform ``u`` applied to raw scores (monotone)."""
 
+    def score_utility_array(self, scores: np.ndarray) -> np.ndarray:
+        """Vectorised ``u`` over a score column (columnar hot path).
+
+        The default loops over :meth:`score_utility`; subclasses with a
+        numpy-native transform override it.  Shape-preserving.
+        """
+        arr = np.asarray(scores, dtype=float)
+        return np.array(
+            [self.score_utility(float(s)) for s in arr.ravel()], dtype=float
+        ).reshape(arr.shape)
+
     def aggregate(self, weighted_scores: Sequence[float]) -> float:
         return float(sum(weighted_scores))
 
@@ -146,12 +157,24 @@ class EuclideanLogScoring(QuadraticFormScoring):
             )
         return math.log(score)
 
+    def score_utility_array(self, scores: np.ndarray) -> np.ndarray:
+        scores = np.asarray(scores, dtype=float)
+        if scores.size and float(scores.min()) <= 0.0:
+            raise ValueError(
+                "EuclideanLogScoring needs strictly positive scores, got "
+                f"{float(scores.min())}"
+            )
+        return np.log(scores)
+
 
 class LinearScoring(QuadraticFormScoring):
     """``u(sigma) = sigma`` — the variant used in Appendix C.2."""
 
     def score_utility(self, score: float) -> float:
         return float(score)
+
+    def score_utility_array(self, scores: np.ndarray) -> np.ndarray:
+        return np.asarray(scores, dtype=float)
 
 
 class CosineProximityScoring(Scoring):

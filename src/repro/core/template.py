@@ -23,6 +23,15 @@ Two execution modes share the loop:
   (score, tuple-id) order, never on insertion order); only the pull
   schedule — and hence ``sum_depths`` — may differ.
 
+For quadratic scorings over streams with a columnar prefix (every
+built-in stream) both modes run **columnar**: the loop hands the batch
+scorer (stream, start, stop) access-position ranges instead of tuple
+lists, so scoring is broadcasting over cached prefix slabs and block
+admission reads running prefix maxima in O(1) — see
+:mod:`repro.core.batchscore`.  ``vectorise=False`` forces the
+object-per-tuple reference path (used by the differential suite to pit
+the two implementations against each other).
+
 Correctness requires only that the bound is a correct upper bound;
 strategies *should* return unexhausted relations, but the engine
 tolerates misbehaving ones by re-choosing the first unexhausted stream
@@ -132,6 +141,11 @@ class ProxRJ:
     use_index:
         Serve distance-based access through the k-d tree instead of
         pre-sorting.
+    vectorise:
+        Use the columnar batch scorer when the scoring supports it
+        (default).  ``False`` forces the scalar object-per-tuple path —
+        the reference implementation the differential tests compare
+        against; completed runs are bit-identical either way.
     stream_factory:
         Optional callable returning one access stream per relation (e.g.
         :func:`repro.service.make_service_streams` partial); overrides
@@ -151,6 +165,7 @@ class ProxRJ:
         bound_period: int = 1,
         pull_block: int = 1,
         use_index: bool = False,
+        vectorise: bool = True,
         stream_factory=None,
         max_pulls: int | None = None,
     ) -> None:
@@ -180,6 +195,7 @@ class ProxRJ:
         self.bound_period = bound_period
         self.pull_block = pull_block
         self.use_index = use_index
+        self.vectorise = vectorise
         self.stream_factory = stream_factory
         self.max_pulls = max_pulls
 
@@ -207,9 +223,14 @@ class ProxRJ:
         self.pull.reset()
         batch_scorer = (
             QuadraticBatchScorer(self.scoring, self.query)
-            if isinstance(self.scoring, QuadraticFormScoring)
+            if self.vectorise and isinstance(self.scoring, QuadraticFormScoring)
             else None
         )
+        # Columnar fast path: every built-in stream exposes a prefix in
+        # access order, so the scorer works on (stream, start, stop)
+        # ranges over cached slabs.  Duck-typed streams without one fall
+        # back to tuple-list pools.
+        columnar = batch_scorer is not None and batch_scorer.bind_streams(streams)
         # Block mode prunes hopeless blocks before scoring them; per-tuple
         # mode keeps the paper's exact work profile (the scorer's own
         # admission filter already handles single pulls).
@@ -266,16 +287,33 @@ class ProxRJ:
             # Line 6-7: form combinations P_1 x ... x B_i x ... x P_n,
             # the cross product of the pulled block against the other
             # relations' seen prefixes, in one vectorised pass.
-            pools = [
-                block if j == i else streams[j].seen for j in range(state.n)
-            ]
-            if batch_scorer is not None:
-                if pruner is None or pruner.admit(pools, state.output.kth_score):
-                    combos_formed += batch_scorer.add_cross_product(
-                        pools, state.output
+            if columnar:
+                depth_i = streams[i].depth
+                ranges = [
+                    (i, depth_i - len(block), depth_i)
+                    if j == i
+                    else (j, 0, streams[j].depth)
+                    for j in range(state.n)
+                ]
+                if pruner is None or pruner.admit_ranges(
+                    ranges, state.output.kth_score
+                ):
+                    combos_formed += batch_scorer.add_cross_ranges(
+                        ranges, state.output
                     )
             else:
-                combos_formed += self._form_combinations(state, pools)
+                pools = [
+                    block if j == i else streams[j].seen for j in range(state.n)
+                ]
+                if batch_scorer is not None:
+                    if pruner is None or pruner.admit(
+                        pools, state.output.kth_score
+                    ):
+                        combos_formed += batch_scorer.add_cross_product(
+                            pools, state.output
+                        )
+                else:
+                    combos_formed += self._form_combinations(state, pools)
 
             # Line 9: refresh the bound, once per block at most.  With
             # bound_period > 1 (or blocks) the stale t is reused between

@@ -87,13 +87,15 @@ def run_cell(
     kind: AccessKind = AccessKind.DISTANCE,
     dominance_period: int | None = None,
     pull_block: int = 1,
+    vectorise: bool = True,
     algorithms: tuple[str, ...] | None = None,
 ) -> CellResult:
     """Run every algorithm on every problem instance of one cell.
 
     ``pull_block > 1`` runs every algorithm in the engine's block-pull
     mode (same ranked top-K on completed runs; amortised bound updates
-    and vectorised block scoring).
+    and vectorised block scoring).  ``vectorise=False`` pins the scalar
+    object-per-tuple path, the ablation baseline for the columnar engine.
     """
     scoring = EuclideanLogScoring(settings.w_s, settings.w_q, settings.w_mu)
     cell = CellResult(label=label)
@@ -104,6 +106,7 @@ def run_cell(
                 "kind": kind,
                 "max_pulls": settings.max_pulls,
                 "pull_block": pull_block,
+                "vectorise": vectorise,
             }
             if algo.upper().startswith("TB"):
                 kwargs["dominance_period"] = dominance_period
@@ -136,6 +139,7 @@ def run_synthetic_cell(
     kind: AccessKind = AccessKind.DISTANCE,
     dominance_period: int | None = None,
     pull_block: int = 1,
+    vectorise: bool = True,
     algorithms: tuple[str, ...] | None = None,
 ) -> CellResult:
     """One Table 2 parameter point over ``settings.seeds`` fresh datasets."""
@@ -160,5 +164,6 @@ def run_synthetic_cell(
         kind=kind,
         dominance_period=dominance_period,
         pull_block=pull_block,
+        vectorise=vectorise,
         algorithms=algorithms,
     )

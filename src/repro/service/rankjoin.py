@@ -13,9 +13,13 @@ module amortises that cost across queries:
   every answer is exact *for the query it executed*.
 * A thread-safe **LRU cache** maps ``(relation, query-bucket)`` to the
   relation's full sorted access order (the limit of the "sorted
-  prefixes" a stream reveals).  A cache hit turns stream opening into
-  O(1) bookkeeping; :class:`CachedOrderStream` replays the shared order
-  without re-sorting or copying tuples.
+  prefixes" a stream reveals), stored **columnar**: the order's stacked
+  vector/score/tid/rank arrays alongside the tuple objects.  A cache hit
+  turns stream opening into O(1) bookkeeping; :class:`CachedOrderStream`
+  replays the shared order as a frozen
+  :class:`~repro.core.columnar.ColumnarPrefix` cursor, so the engine's
+  columnar scorer runs over the cached arrays without re-materialising
+  or copying anything.
 * :meth:`RankJoinService.submit` runs one query to completion and
   returns its :class:`~repro.core.template.RunResult`;
   :meth:`RankJoinService.submit_many` drives a batch through a thread
@@ -39,6 +43,7 @@ import numpy as np
 
 from repro.core.access import AccessKind, DistanceAccess, ScoreAccess
 from repro.core.algorithms import make_algorithm
+from repro.core.columnar import ColumnarPrefix
 from repro.core.relation import RankTuple, Relation
 from repro.core.scoring import Scoring
 from repro.core.template import RunResult
@@ -52,11 +57,17 @@ class CachedOrder:
 
     ``ranks`` holds the distance per tuple under distance access and the
     score per tuple under score access, aligned with ``tuples``.
+    ``vectors``/``scores``/``tids`` are the order's columnar arrays
+    (shared with every stream replaying this order — LRU hits never
+    re-materialise them).
     """
 
     kind: AccessKind
     tuples: tuple[RankTuple, ...]
-    ranks: tuple[float, ...]
+    ranks: np.ndarray
+    vectors: np.ndarray
+    scores: np.ndarray
+    tids: np.ndarray
     sigma_max: float
 
 
@@ -65,7 +76,10 @@ class CachedOrderStream:
 
     Each run gets its own stream (streams are stateful cursors), but all
     runs over the same ``(relation, query-bucket)`` share the underlying
-    sorted order — the expensive part.
+    sorted order — the expensive part.  The stream's columnar ``prefix``
+    is a frozen cursor over the order's shared arrays, so pulls cost O(1)
+    bookkeeping and the engine's range-based scorer slices the cached
+    arrays directly.
     """
 
     def __init__(self, order: CachedOrder, relation: Relation) -> None:
@@ -76,6 +90,9 @@ class CachedOrderStream:
         # Live append-only prefix, as the engine and bounds expect from
         # ``seen`` (no per-access copying).
         self._seen: list[RankTuple] = []
+        self.prefix = ColumnarPrefix.from_arrays(
+            order.vectors, order.scores, order.tids
+        )
 
     # -- AccessStream interface -------------------------------------------
 
@@ -101,6 +118,7 @@ class CachedOrderStream:
         tup = self._order.tuples[self._pos]
         self._pos += 1
         self._seen.append(tup)
+        self.prefix.advance(1)
         return tup
 
     def next_block(self, limit: int) -> list[RankTuple]:
@@ -110,27 +128,28 @@ class CachedOrderStream:
         block = list(self._order.tuples[self._pos : self._pos + take])
         self._pos += take
         self._seen.extend(block)
+        self.prefix.advance(take)
         return block
 
     # -- distance-kind statistics -----------------------------------------
 
     @property
     def first_distance(self) -> float:
-        return self._order.ranks[0] if self._pos else 0.0
+        return float(self._order.ranks[0]) if self._pos else 0.0
 
     @property
     def last_distance(self) -> float:
-        return self._order.ranks[self._pos - 1] if self._pos else 0.0
+        return float(self._order.ranks[self._pos - 1]) if self._pos else 0.0
 
     # -- score-kind statistics --------------------------------------------
 
     @property
     def first_score(self) -> float:
-        return self._order.ranks[0] if self._pos else self.sigma_max
+        return float(self._order.ranks[0]) if self._pos else self.sigma_max
 
     @property
     def last_score(self) -> float:
-        return self._order.ranks[self._pos - 1] if self._pos else self.sigma_max
+        return float(self._order.ranks[self._pos - 1]) if self._pos else self.sigma_max
 
 
 @dataclass
@@ -278,30 +297,24 @@ class RankJoinService:
             self.stats.stream_cache_misses += 1
         # Sort outside the lock: concurrent misses may duplicate work but
         # never block each other; last writer wins with an equal order.
+        # The sorted streams materialise their order columnar at open
+        # time; drain in one block pull and share those arrays.
         if self.kind is AccessKind.DISTANCE:
-            inner = DistanceAccess(relation, canonical)
-            tuples: list[RankTuple] = []
-            ranks: list[float] = []
-            while True:
-                tup = inner.next()
-                if tup is None:
-                    break
-                tuples.append(tup)
-                ranks.append(inner.last_distance)
+            inner: DistanceAccess | ScoreAccess = DistanceAccess(relation, canonical)
+            tuples = inner.next_block(len(relation))
+            ranks = inner.distances
         else:
             inner = ScoreAccess(relation)
-            tuples = []
-            ranks = []
-            while True:
-                tup = inner.next()
-                if tup is None:
-                    break
-                tuples.append(tup)
-                ranks.append(tup.score)
+            tuples = inner.next_block(len(relation))
+            ranks = inner.prefix.arrays()[1]
+        vectors, scores, tids = inner.prefix.arrays()
         order = CachedOrder(
             kind=self.kind,
             tuples=tuple(tuples),
-            ranks=tuple(ranks),
+            ranks=np.asarray(ranks, dtype=float),
+            vectors=vectors,
+            scores=scores,
+            tids=tids,
             sigma_max=relation.sigma_max,
         )
         with self._lock:

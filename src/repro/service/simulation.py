@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.access import AccessKind, DistanceAccess, ScoreAccess
+from repro.core.columnar import ColumnarPrefix
 from repro.core.relation import RankTuple, Relation
 
 __all__ = ["LatencyModel", "ServiceEndpoint", "ServiceStream", "make_service_streams"]
@@ -118,6 +119,9 @@ class ServiceStream:
         self._seen: list[RankTuple] = []
         self._buffer: list[RankTuple] = []
         self._distances: list[float] = []
+        #: Columnar prefix in arrival order, so the engine's range-based
+        #: scorer works over "remote" data too.
+        self.prefix = ColumnarPrefix(endpoint.relation.dim)
         self._remote_exhausted = False
         if self.kind is AccessKind.DISTANCE:
             self._query = np.asarray(endpoint._inner.query, dtype=float)
@@ -178,6 +182,7 @@ class ServiceStream:
 
     def _record(self, tup: RankTuple) -> None:
         self._seen.append(tup)
+        self.prefix.append(tup.vector, tup.score, tup.tid)
         if self.kind is AccessKind.DISTANCE:
             self._distances.append(float(np.linalg.norm(tup.vector - self._query)))
 

@@ -1,9 +1,11 @@
 """Differential tests for the block-pull engine and run-loop regressions.
 
 The acceptance bar: on >= 50 randomized workloads — including tie-heavy
-ones — the block-pull engine, the per-tuple engine and the brute-force
-oracle must agree on the ranked top-K *bit-identically* (same keys, same
-float scores, same tie-break order).
+ones — the columnar block-pull engine, the per-tuple engine, the
+object-per-tuple reference path (``vectorise=False``) and the
+brute-force oracle must agree on the ranked top-K *bit-identically*
+(same keys, same float scores, same tie-break order), for pre-sorted and
+k-d-indexed streams alike.
 """
 
 import time
@@ -68,6 +70,7 @@ def tie_heavy_workload(seed):
 class TestBlockPullDifferential:
     @pytest.mark.parametrize("seed", range(30))
     def test_randomized_workloads(self, seed):
+        """Columnar engine == object path == oracle, per-tuple and block."""
         relations, query, k = random_workload(seed)
         scoring = EuclideanLogScoring(1.0, 1.0, 1.0)
         oracle = ranked_ids(brute_force_topk(relations, scoring, query, k))
@@ -77,6 +80,12 @@ class TestBlockPullDifferential:
             ).run()
             assert per_tuple.completed
             assert ranked_ids(per_tuple.combinations) == oracle
+            objectpath = make_algorithm(
+                algo, relations, scoring, query, k,
+                kind=AccessKind.DISTANCE, vectorise=False,
+            ).run()
+            assert objectpath.completed
+            assert ranked_ids(objectpath.combinations) == oracle
             for block in (3, 8):
                 blocked = make_algorithm(
                     algo, relations, scoring, query, k,
@@ -94,6 +103,28 @@ class TestBlockPullDifferential:
             result = make_algorithm(
                 "TBPA", relations, scoring, query, k,
                 kind=AccessKind.DISTANCE, pull_block=block,
+            ).run()
+            assert result.completed
+            assert ranked_ids(result.combinations) == oracle
+        # The object-per-tuple reference path resolves the same ties.
+        reference = make_algorithm(
+            "TBPA", relations, scoring, query, k,
+            kind=AccessKind.DISTANCE, pull_block=4, vectorise=False,
+        ).run()
+        assert reference.completed
+        assert ranked_ids(reference.combinations) == oracle
+
+    @pytest.mark.parametrize("seed", [3, 11, 27, 42])
+    def test_indexed_stream_matches_oracle(self, seed):
+        """The k-d indexed stream (growing columnar prefix, no order
+        slicing) feeds the columnar engine bit-identically too."""
+        relations, query, k = random_workload(seed)
+        scoring = EuclideanLogScoring(1.0, 1.0, 1.0)
+        oracle = ranked_ids(brute_force_topk(relations, scoring, query, k))
+        for block in (1, 8):
+            result = make_algorithm(
+                "TBPA", relations, scoring, query, k,
+                kind=AccessKind.DISTANCE, pull_block=block, use_index=True,
             ).run()
             assert result.completed
             assert ranked_ids(result.combinations) == oracle

@@ -230,7 +230,7 @@ class TestScoreAccessAlgorithm3:
         bound = TightBound()
         round_robin_updates(state, bound, rounds=5)
         for sub in bound._subsets:
-            assert len(sub.entries) <= 1
+            assert sub.count <= 1
 
     @settings(max_examples=15, deadline=None)
     @given(st.integers(0, 300))
