@@ -65,16 +65,39 @@ def record_bench(name: str, wall_seconds: float, **metrics) -> None:
 def pytest_sessionfinish(session, exitstatus):
     if not _BENCH_RECORDS:
         return
+    # Merge by record name into any existing trajectory file: records this
+    # session re-measured are replaced in place, everything else is kept.
+    # A partial run (one benchmark file, or a CI job that only runs the
+    # sharded suite) therefore *extends* BENCH_core.json instead of
+    # clobbering the rest of the trajectory.  Quick-mode records are
+    # tagged individually so a quick partial merge never masquerades as
+    # full-workload numbers next to retained full-mode entries (the
+    # top-level flags describe only the *last* session).
+    quick = bool(os.environ.get("PROXRJ_BENCH_QUICK"))
+    if quick:
+        for record in _BENCH_RECORDS:
+            record["quick"] = True
+    path = _bench_json_path()
+    records: list[dict] = []
+    try:
+        records = json.loads(path.read_text()).get("records", [])
+    except (OSError, ValueError):
+        records = []
+    fresh = {r["name"]: r for r in _BENCH_RECORDS}
+    merged = [fresh.pop(r["name"], r) for r in records]
+    merged.extend(fresh.values())
     payload = {
         "schema": 1,
         "python": platform.python_version(),
         "platform": sys.platform,
-        "quick_mode": bool(os.environ.get("PROXRJ_BENCH_QUICK")),
-        "records": _BENCH_RECORDS,
+        "quick_mode": quick,
+        "records": merged,
     }
-    path = _bench_json_path()
     path.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"\n[bench] wrote {len(_BENCH_RECORDS)} records to {path}")
+    print(
+        f"\n[bench] wrote {len(_BENCH_RECORDS)} records to {path} "
+        f"({len(merged)} total after merge)"
+    )
 
 
 def synthetic_problem(**overrides):

@@ -22,6 +22,7 @@ from repro.core import (
     RoundRobin,
     RunResult,
     Scoring,
+    ShardedRelation,
     TightBound,
     TopKBuffer,
     brute_force_topk,
@@ -50,6 +51,7 @@ __all__ = [
     "RoundRobin",
     "RunResult",
     "Scoring",
+    "ShardedRelation",
     "TightBound",
     "TopKBuffer",
     "brute_force_topk",

@@ -1,7 +1,14 @@
 """Core library: the proximity rank join problem, the ProxRJ template and
 the four evaluated algorithms (CBRR/CBPA/TBRR/TBPA)."""
 
-from repro.core.access import AccessKind, DistanceAccess, ScoreAccess, open_streams
+from repro.core.access import (
+    AccessKind,
+    DistanceAccess,
+    MergeStream,
+    ScoreAccess,
+    ShardCursor,
+    open_streams,
+)
 from repro.core.algorithms import ALGORITHMS, cbpa, cbrr, make_algorithm, tbpa, tbrr
 from repro.core.batchscore import CandidatePruner, QuadraticBatchScorer
 from repro.core.bounds import ApproxTightBound, CornerBound, TightBound
@@ -11,6 +18,13 @@ from repro.core.naive import brute_force_topk
 from repro.core.probing import ProbeRankJoin, ProbeRunResult
 from repro.core.pulling import PotentialAdaptive, PullingStrategy, RoundRobin
 from repro.core.relation import Combination, RankTuple, Relation
+from repro.core.storage import (
+    ShardedBackend,
+    ShardedRelation,
+    SingleShardBackend,
+    StorageBackend,
+    partition_indices,
+)
 from repro.core.scoring import (
     CosineProximityScoring,
     EuclideanLogScoring,
@@ -24,8 +38,15 @@ from repro.core.tracing import PullEvent, RunTrace, TraceBound
 __all__ = [
     "AccessKind",
     "DistanceAccess",
+    "MergeStream",
     "ScoreAccess",
+    "ShardCursor",
+    "ShardedBackend",
+    "ShardedRelation",
+    "SingleShardBackend",
+    "StorageBackend",
     "open_streams",
+    "partition_indices",
     "ALGORITHMS",
     "cbpa",
     "cbrr",

@@ -10,6 +10,7 @@ from repro.core.bounds.geometry import (
     dominance_coefficients,
     partial_geometry,
     score_access_completion,
+    score_access_completion_batch,
     solve_completion,
     unconstrained_optimum,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "dominance_coefficients",
     "partial_geometry",
     "score_access_completion",
+    "score_access_completion_batch",
     "solve_completion",
     "unconstrained_optimum",
 ]

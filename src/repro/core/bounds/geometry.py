@@ -46,6 +46,7 @@ __all__ = [
     "solve_completion",
     "solve_completion_batch",
     "score_access_completion",
+    "score_access_completion_batch",
     "dominance_coefficients",
     "dominance_coefficients_batch",
 ]
@@ -335,6 +336,64 @@ def score_access_completion(
         theta=theta,
         positions={j: y_star.copy() for j in unseen_sigma},
     )
+
+
+def score_access_completion_batch(
+    scoring: QuadraticFormScoring,
+    n: int,
+    query: np.ndarray,
+    scores: np.ndarray,
+    vectors: np.ndarray,
+    unseen_sigma: dict[int, float],
+) -> np.ndarray:
+    """Vectorised :func:`score_access_completion` values for many partial
+    combinations of the *same* subset ``M`` (the score-access hot loop).
+
+    ``scores`` has shape ``(E, m)`` and ``vectors`` ``(E, m, d)``, columns
+    in member order; ``unseen_sigma`` is shared by all entries.  Returns
+    the ``(E,)`` bound values ``t^s(tau)``.  Only the values are needed in
+    bulk (Algorithm 3 keeps a single incumbent per subset), so the
+    maximiser geometry of :class:`CompletionResult` is not materialised.
+
+    Arithmetic mirrors the scalar path operation for operation — centroid
+    mean before query-centring, norms taken then squared, weighted terms
+    accumulated in relation order — so values match the per-entry
+    evaluation to float-associativity noise.
+    """
+    if vectors.ndim != 3:
+        raise ValueError(f"vectors must be (E, m, d), got shape {vectors.shape}")
+    query = np.asarray(query, dtype=float)
+    scores = np.atleast_2d(np.asarray(scores, dtype=float))
+    vectors = np.asarray(vectors, dtype=float)
+    num_entries, m = scores.shape
+    if m + len(unseen_sigma) != n:
+        raise ValueError("seen and unseen must partition the n relations")
+    w_s, w_q, w_mu = scoring.w_s, scoring.w_q, scoring.w_mu
+
+    if m:
+        nu_centred = vectors.mean(axis=1) - query  # (E, d)
+    else:
+        nu_centred = np.zeros((num_entries, len(query)))
+    denom = m * w_mu + n * w_q
+    factor = (m * w_mu / denom) if (m and denom > _EPS) else 0.0
+    y_star = nu_centred * factor + query  # closed form (41), query frame
+    mu = (m * (nu_centred + query) + (n - m) * y_star) / n if n else query
+
+    values = np.zeros(num_entries)
+    if m:
+        u_seen = scoring.score_utility_array(scores)  # (E, m)
+        for r in range(m):
+            dq = np.linalg.norm(vectors[:, r] - query, axis=1)
+            dmu = np.linalg.norm(vectors[:, r] - mu, axis=1)
+            values = values + (
+                w_s * u_seen[:, r] - w_q * dq * dq - w_mu * dmu * dmu
+            )
+    dq_u = np.linalg.norm(y_star - query, axis=1)
+    dmu_u = np.linalg.norm(y_star - mu, axis=1)
+    for j in sorted(unseen_sigma):
+        u_j = scoring.score_utility(unseen_sigma[j])
+        values = values + (w_s * u_j - w_q * dq_u * dq_u - w_mu * dmu_u * dmu_u)
+    return values
 
 
 def dominance_coefficients(

@@ -49,6 +49,7 @@ from repro.core.bounds.dominance import dominated_mask
 from repro.core.bounds.geometry import (
     dominance_coefficients_batch,
     score_access_completion,
+    score_access_completion_batch,
     solve_completion_batch,
 )
 from repro.core.relation import RankTuple
@@ -429,28 +430,34 @@ class TightBound(BoundingScheme):
                 )
                 sub.t[0] = result.value
                 self.counters.closed_form_evals += 1
+            # Challenge the incumbent with every new partial combination
+            # in one vectorised closed-form evaluation (values only — the
+            # single survivor per subset never needs the maximiser
+            # geometry).  The sequential scalar loop kept the *first*
+            # entry attaining the running maximum (strict-> replacement),
+            # which is exactly ``argmax``; all other challengers are
+            # immediately dominated, as is a beaten incumbent.
             new_scores, new_vecs = self._new_member_batch(state, sub, new_counts)
-            for e in range(len(new_scores)):
-                seen = {
-                    j: (float(new_scores[e, r]), new_vecs[e, r])
-                    for r, j in enumerate(members)
-                }
-                result = score_access_completion(
-                    scoring, n, state.query, seen, unseen_sigma
+            e_new = len(new_scores)
+            if e_new:
+                values = score_access_completion_batch(
+                    scoring, n, state.query, new_scores, new_vecs, unseen_sigma
                 )
-                self.counters.closed_form_evals += 1
-                self.counters.entries_created += 1
-                if sub.count == 0 or result.value > sub.t[0]:
-                    if sub.count:
-                        self.counters.entries_dominated += 1
-                    if sub.count == 0:
-                        sub.append(new_scores[e : e + 1], new_vecs[e : e + 1])
-                    else:
-                        sub.scores[0] = new_scores[e]
-                        sub.vecs[0] = new_vecs[e]
-                    sub.t[0] = result.value
+                self.counters.closed_form_evals += e_new
+                self.counters.entries_created += e_new
+                best = int(np.argmax(values))
+                if sub.count == 0:
+                    sub.append(
+                        new_scores[best : best + 1], new_vecs[best : best + 1]
+                    )
+                    sub.t[0] = float(values[best])
+                    self.counters.entries_dominated += e_new - 1
                 else:
-                    self.counters.entries_dominated += 1
+                    if values[best] > sub.t[0]:
+                        sub.scores[0] = new_scores[best]
+                        sub.vecs[0] = new_vecs[best]
+                        sub.t[0] = float(values[best])
+                    self.counters.entries_dominated += e_new
             sub.count = min(sub.count, 1)
             sub.recompute_max()
 

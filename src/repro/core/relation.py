@@ -85,6 +85,12 @@ class Relation:
         unseen ones (``sigma_i^max`` in the paper).  Defaults to the
         maximum score present, which is correct for materialised
         relations; services with known rating scales should pass e.g. 1.0.
+    tids:
+        Explicit tuple ids.  Defaults to ``0..N-1`` (a base relation);
+        storage backends pass the parent relation's ids when carving a
+        shard out of it, so shard tuples stay identical — by id, equality
+        and hash — to the parent's and combination keys are
+        partition-invariant.
     """
 
     def __init__(
@@ -95,6 +101,7 @@ class Relation:
         *,
         attrs: Sequence[Mapping[str, Any]] | None = None,
         sigma_max: float | None = None,
+        tids: Sequence[int] | None = None,
     ) -> None:
         vecs = np.atleast_2d(np.array(vectors, dtype=float))
         if len(scores) != len(vecs):
@@ -113,7 +120,16 @@ class Relation:
         vecs.setflags(write=False)
         score_col = np.array([float(s) for s in scores], dtype=float)
         score_col.setflags(write=False)
-        tid_col = np.arange(len(vecs), dtype=np.int64)
+        if tids is None:
+            tid_col = np.arange(len(vecs), dtype=np.int64)
+        else:
+            tid_col = np.array([int(t) for t in tids], dtype=np.int64)
+            if len(tid_col) != len(vecs):
+                raise ValueError(
+                    f"relation {name!r}: {len(tid_col)} tids but {len(vecs)} vectors"
+                )
+            if len(np.unique(tid_col)) != len(tid_col):
+                raise ValueError(f"relation {name!r}: tids must be unique")
         tid_col.setflags(write=False)
         self._vectors = vecs
         self._scores = score_col
@@ -121,7 +137,7 @@ class Relation:
         self._tuples = [
             RankTuple(
                 relation=name,
-                tid=i,
+                tid=int(tid_col[i]),
                 score=float(score_col[i]),
                 vector=vecs[i],
                 attrs=dict(attrs[i]) if attrs is not None else {},
@@ -153,8 +169,22 @@ class Relation:
 
     @property
     def tids(self) -> np.ndarray:
-        """Tuple ids ``0..N-1`` as one read-only ``(N,)`` array."""
+        """Tuple ids as one read-only ``(N,)`` array (``0..N-1`` for base
+        relations; a parent relation's ids for shard relations)."""
         return self._tids
+
+    @property
+    def storage(self):
+        """The relation's :class:`~repro.core.storage.StorageBackend`.
+
+        Base relations are a single in-memory shard;
+        :class:`~repro.core.storage.ShardedRelation` overrides this with
+        its partitioned backend.  The access layer opens streams through
+        this boundary only, never against the relation directly.
+        """
+        from repro.core.storage import SingleShardBackend
+
+        return SingleShardBackend(self)
 
     def __len__(self) -> int:
         return len(self._tuples)
@@ -163,10 +193,44 @@ class Relation:
         return iter(self._tuples)
 
     def __getitem__(self, i: int) -> RankTuple:
+        """The tuple at *position* ``i`` of the base data (equal to tid
+        ``i`` for base relations; shard relations keep parent tids)."""
         return self._tuples[i]
 
     def __repr__(self) -> str:
         return f"Relation({self.name!r}, n={len(self)}, d={self.dim})"
+
+    @classmethod
+    def _from_rows(
+        cls,
+        name: str,
+        scores: np.ndarray,
+        vectors: np.ndarray,
+        tids: np.ndarray,
+        tuples: list[RankTuple],
+        sigma_max: float,
+    ) -> "Relation":
+        """Internal: wrap pre-built columnar columns and *shared*
+        ``RankTuple`` row objects (the storage layer's shard carve-out).
+
+        Skips tuple re-materialisation: a shard's tuples ARE the parent's
+        tuple objects, so sharding adds per-shard columnar copies but no
+        second set of Python rows or attrs dicts."""
+        self = cls.__new__(cls)
+        vecs = np.atleast_2d(np.asarray(vectors, dtype=float))
+        scores = np.asarray(scores, dtype=float)
+        tids = np.asarray(tids, dtype=np.int64)
+        if not len(vecs) == len(scores) == len(tids) == len(tuples) or not len(vecs):
+            raise ValueError(f"relation {name!r}: misaligned or empty row columns")
+        for col in (vecs, scores, tids):
+            col.setflags(write=False)
+        self.name = name
+        self._vectors = vecs
+        self._scores = scores
+        self._tids = tids
+        self._tuples = list(tuples)
+        self.sigma_max = float(sigma_max)
+        return self
 
     @classmethod
     def from_tuples(

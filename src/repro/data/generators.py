@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.relation import Relation
+from repro.core.storage import ShardedRelation
 
 __all__ = [
     "clustered_problem",
@@ -37,6 +38,23 @@ def _finish_scores(raw: np.ndarray) -> np.ndarray:
     return np.clip(raw, _SCORE_FLOOR, 1.0)
 
 
+def _make_relation(
+    name: str,
+    scores: np.ndarray,
+    vectors: np.ndarray,
+    *,
+    shards: int,
+    partition: str,
+) -> Relation:
+    """Plain relation, or a sharded one when ``shards > 1`` (same tuples
+    either way, so sharded and single-shard workloads stay comparable)."""
+    if shards > 1:
+        return ShardedRelation(
+            name, scores, vectors, sigma_max=1.0, shards=shards, partition=partition
+        )
+    return Relation(name, scores, vectors, sigma_max=1.0)
+
+
 def clustered_problem(
     *,
     n_relations: int = 2,
@@ -46,6 +64,8 @@ def clustered_problem(
     cluster_spread: float = 0.15,
     region: float = 4.0,
     seed: int = 0,
+    shards: int = 1,
+    partition: str = "hash",
 ) -> tuple[list[Relation], np.ndarray]:
     """Gaussian-mixture geometry shared across relations.
 
@@ -62,7 +82,11 @@ def clustered_problem(
             scale=cluster_spread, size=(n_tuples, dims)
         )
         scores = _finish_scores(rng.uniform(0.0, 1.0, n_tuples))
-        relations.append(Relation(f"R{i+1}", scores, vectors, sigma_max=1.0))
+        relations.append(
+            _make_relation(
+                f"R{i+1}", scores, vectors, shards=shards, partition=partition
+            )
+        )
     return relations, np.zeros(dims)
 
 
@@ -74,6 +98,8 @@ def correlated_problem(
     region: float = 4.0,
     noise: float = 0.1,
     seed: int = 0,
+    shards: int = 1,
+    partition: str = "hash",
 ) -> tuple[list[Relation], np.ndarray]:
     """Scores decay with distance from the query (correlated regime)."""
     rng = np.random.default_rng(seed)
@@ -85,7 +111,11 @@ def correlated_problem(
         scores = _finish_scores(
             1.0 - dist / half_diag + rng.normal(scale=noise, size=n_tuples)
         )
-        relations.append(Relation(f"R{i+1}", scores, vectors, sigma_max=1.0))
+        relations.append(
+            _make_relation(
+                f"R{i+1}", scores, vectors, shards=shards, partition=partition
+            )
+        )
     return relations, np.zeros(dims)
 
 
@@ -97,6 +127,8 @@ def anticorrelated_problem(
     region: float = 4.0,
     noise: float = 0.1,
     seed: int = 0,
+    shards: int = 1,
+    partition: str = "hash",
 ) -> tuple[list[Relation], np.ndarray]:
     """Scores *grow* with distance from the query (adversarial regime).
 
@@ -113,5 +145,9 @@ def anticorrelated_problem(
         scores = _finish_scores(
             dist / half_diag + rng.normal(scale=noise, size=n_tuples)
         )
-        relations.append(Relation(f"R{i+1}", scores, vectors, sigma_max=1.0))
+        relations.append(
+            _make_relation(
+                f"R{i+1}", scores, vectors, shards=shards, partition=partition
+            )
+        )
     return relations, np.zeros(dims)

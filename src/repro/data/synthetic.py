@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.relation import Relation
+from repro.core.storage import PARTITIONERS, ShardedRelation
 
 __all__ = ["SyntheticConfig", "generate_relation", "generate_problem"]
 
@@ -32,7 +33,11 @@ __all__ = ["SyntheticConfig", "generate_relation", "generate_problem"]
 class SyntheticConfig:
     """Parameters of one synthetic proximity-rank-join instance.
 
-    Defaults are the bold entries of the paper's Table 2.
+    Defaults are the bold entries of the paper's Table 2.  ``shards > 1``
+    produces :class:`~repro.core.storage.ShardedRelation` instances
+    (identical tuples, partitioned storage) — the sampled data is the
+    same for every shard count, so sharded and single-shard runs over one
+    config are directly comparable.
     """
 
     n_relations: int = 2
@@ -42,6 +47,8 @@ class SyntheticConfig:
     n_tuples: int = 400
     score_floor: float = 0.05
     seed: int = 0
+    shards: int = 1
+    partition: str = "hash"
 
     def __post_init__(self) -> None:
         if self.n_relations < 1:
@@ -56,6 +63,13 @@ class SyntheticConfig:
             raise ValueError("n_tuples must be >= 1")
         if not 0 < self.score_floor < 1:
             raise ValueError("score_floor must be in (0, 1)")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.partition not in PARTITIONERS:
+            raise ValueError(
+                f"unknown partition scheme {self.partition!r}; "
+                f"choose from {PARTITIONERS}"
+            )
 
     def densities(self) -> list[float]:
         """Per-relation densities implementing the skew parameter.
@@ -79,12 +93,21 @@ def generate_relation(
     density: float,
     n_tuples: int,
     score_floor: float,
+    shards: int = 1,
+    partition: str = "hash",
 ) -> Relation:
     """One relation with ``n_tuples`` points at uniform density
-    ``density`` in a cube centred at the origin."""
+    ``density`` in a cube centred at the origin.
+
+    ``shards > 1`` partitions the same sampled tuples across shards (the
+    rng draw is shard-count independent)."""
     side = (n_tuples / density) ** (1.0 / dims)
     vectors = rng.uniform(-side / 2.0, side / 2.0, size=(n_tuples, dims))
     scores = rng.uniform(score_floor, 1.0, size=n_tuples)
+    if shards > 1:
+        return ShardedRelation(
+            name, scores, vectors, sigma_max=1.0, shards=shards, partition=partition
+        )
     return Relation(name, scores, vectors, sigma_max=1.0)
 
 
@@ -101,6 +124,8 @@ def generate_problem(config: SyntheticConfig) -> tuple[list[Relation], np.ndarra
                 density=rho,
                 n_tuples=config.n_tuples,
                 score_floor=config.score_floor,
+                shards=config.shards,
+                partition=config.partition,
             )
         )
     query = np.zeros(config.dims)

@@ -25,6 +25,16 @@ module amortises that cost across queries:
   :meth:`RankJoinService.submit_many` drives a batch through a thread
   pool (engine runs are independent; only the caches are shared, under a
   lock).
+* **Sharded relations** (:class:`~repro.core.storage.ShardedRelation`)
+  are served through the same caches, keyed *per shard*: the LRU maps
+  ``(relation, shard, query-bucket)`` to that shard's sorted order, so a
+  shard's order is computed once per bucket, evicted independently, and
+  shared by every merge stream replaying it.  Queries over sharded
+  relations run against a :class:`~repro.core.access.MergeStream` whose
+  per-shard block pulls are fanned out to a dedicated shard pool (one
+  task per shard per pull, merged before scoring) — the shard-parallel
+  execution path that a distributed deployment would put network fetches
+  behind.
 
 The service defaults to the engine's block-pull mode (``pull_block=8``),
 which is where the throughput benchmark shows the vectorised engine
@@ -41,7 +51,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.access import AccessKind, DistanceAccess, ScoreAccess
+from repro.core.access import (
+    AccessKind,
+    DistanceAccess,
+    MergeStream,
+    ScoreAccess,
+    ShardCursor,
+)
 from repro.core.algorithms import make_algorithm
 from repro.core.columnar import ColumnarPrefix
 from repro.core.relation import RankTuple, Relation
@@ -227,6 +243,13 @@ class RankJoinService:
     max_pulls:
         Optional per-query pull budget (admission control for hostile
         queries); cut-off runs report ``completed=False``.
+    shard_workers:
+        Width of the dedicated pool that fans out per-shard block pulls
+        when any relation is sharded.  ``None`` (default) sizes it to the
+        widest relation (capped at 8); ``0`` disables the pool and merges
+        serially.  This pool is separate from the :meth:`submit_many`
+        pool on purpose — shard pulls are leaf tasks, so sharing a pool
+        with the query runners could deadlock under full load.
     """
 
     def __init__(
@@ -244,6 +267,7 @@ class RankJoinService:
         bucket_decimals: int = 6,
         max_workers: int = 4,
         max_pulls: int | None = None,
+        shard_workers: int | None = None,
     ) -> None:
         if not relations:
             raise ValueError("need at least one relation")
@@ -255,6 +279,8 @@ class RankJoinService:
             raise ValueError("bucket_decimals must be >= 0")
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if shard_workers is not None and shard_workers < 0:
+            raise ValueError("shard_workers must be >= 0 (or None for auto)")
         self.relations = relations
         self.scoring = scoring
         self.kind = kind
@@ -269,6 +295,29 @@ class RankJoinService:
         self._lock = threading.Lock()
         self._orders = _LRU(cache_size)
         self._results = _LRU(result_cache_size) if result_cache_size else None
+        max_shards = max(r.storage.shard_count for r in relations)
+        if shard_workers is None:
+            shard_workers = min(8, max_shards) if max_shards > 1 else 0
+        self._shard_pool = (
+            ThreadPoolExecutor(
+                max_workers=shard_workers, thread_name_prefix="shard-pull"
+            )
+            if shard_workers
+            else None
+        )
+
+    def close(self) -> None:
+        """Shut down the shard-pull pool (idempotent).  The service stays
+        usable afterwards; sharded pulls just merge serially."""
+        if self._shard_pool is not None:
+            self._shard_pool.shutdown(wait=True)
+            self._shard_pool = None
+
+    def __enter__(self) -> "RankJoinService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- query canonicalisation -------------------------------------------
 
@@ -285,10 +334,24 @@ class RankJoinService:
     # -- shared access orders ---------------------------------------------
 
     def _order_for(
-        self, relation: Relation, bucket: bytes, canonical: np.ndarray
+        self,
+        shard: Relation,
+        shard_idx: int,
+        bucket: bytes,
+        canonical: np.ndarray,
     ) -> CachedOrder:
-        # Score access is query-independent: one cache entry per relation.
-        key = (relation.name, bucket if self.kind is AccessKind.DISTANCE else b"")
+        """One shard's full sorted order for one query bucket (cached).
+
+        The LRU key is ``(relation, shard, bucket)``: sharded relations
+        get one independently evictable entry per shard, unsharded
+        relations use shard index 0.  Score access is query-independent:
+        one cache entry per (relation, shard).
+        """
+        key = (
+            shard.name,
+            shard_idx,
+            bucket if self.kind is AccessKind.DISTANCE else b"",
+        )
         with self._lock:
             cached = self._orders.get(key)
             if cached is not None:
@@ -300,12 +363,12 @@ class RankJoinService:
         # The sorted streams materialise their order columnar at open
         # time; drain in one block pull and share those arrays.
         if self.kind is AccessKind.DISTANCE:
-            inner: DistanceAccess | ScoreAccess = DistanceAccess(relation, canonical)
-            tuples = inner.next_block(len(relation))
+            inner: DistanceAccess | ScoreAccess = DistanceAccess(shard, canonical)
+            tuples = inner.next_block(len(shard))
             ranks = inner.distances
         else:
-            inner = ScoreAccess(relation)
-            tuples = inner.next_block(len(relation))
+            inner = ScoreAccess(shard)
+            tuples = inner.next_block(len(shard))
             ranks = inner.prefix.arrays()[1]
         vectors, scores, tids = inner.prefix.arrays()
         order = CachedOrder(
@@ -315,16 +378,44 @@ class RankJoinService:
             vectors=vectors,
             scores=scores,
             tids=tids,
-            sigma_max=relation.sigma_max,
+            sigma_max=shard.sigma_max,
         )
         with self._lock:
             self._orders.put(key, order)
         return order
 
+    def _open_cached_stream(
+        self, relation: Relation, bucket: bytes, canonical: np.ndarray
+    ):
+        """One engine-facing stream for ``relation``, replaying cached
+        per-shard orders: a :class:`CachedOrderStream` for single-shard
+        relations, a shard-parallel
+        :class:`~repro.core.access.MergeStream` otherwise."""
+        shards = relation.storage.shards
+        if len(shards) == 1:
+            return CachedOrderStream(
+                self._order_for(shards[0], 0, bucket, canonical), relation
+            )
+        orders = [
+            self._order_for(shard, si, bucket, canonical)
+            for si, shard in enumerate(shards)
+        ]
+        cursors = [
+            ShardCursor(o.tuples, o.ranks, o.vectors, o.scores, o.tids)
+            for o in orders
+        ]
+        return MergeStream(
+            relation,
+            self.kind,
+            cursors,
+            sigma_max=max(o.sigma_max for o in orders),
+            executor=self._shard_pool,
+        )
+
     def _stream_factory(self, bucket: bytes, canonical: np.ndarray):
-        def factory() -> list[CachedOrderStream]:
+        def factory() -> list:
             return [
-                CachedOrderStream(self._order_for(r, bucket, canonical), r)
+                self._open_cached_stream(r, bucket, canonical)
                 for r in self.relations
             ]
 

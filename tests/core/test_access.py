@@ -5,8 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import AccessKind, Relation
-from repro.core.access import DistanceAccess, ScoreAccess, open_streams
+from repro.core import AccessKind, Relation, ShardedRelation
+from repro.core.access import DistanceAccess, MergeStream, ScoreAccess, open_streams
 
 
 def drain(stream):
@@ -126,6 +126,72 @@ class TestScoreAccess:
         stream.next()
         assert stream.exhausted
         assert stream.next() is None
+
+
+class TestNextBlockDepletion:
+    """Regression pins for block pulls at the end of the order: a limit
+    past the remaining order must never raise, and ``exhausted`` flips
+    exactly at depletion (not before, not after)."""
+
+    def _streams(self, seed=0, size=9):
+        rel = random_relation(seed, size=size)
+        sharded = ShardedRelation(
+            "R", rel.scores, rel.vectors, sigma_max=1.0, shards=3
+        )
+        q = np.zeros(2)
+        return [
+            DistanceAccess(rel, q),
+            DistanceAccess(rel, q, use_index=True),
+            ScoreAccess(rel),
+            open_streams([sharded], AccessKind.DISTANCE, q)[0],
+            open_streams([sharded], AccessKind.SCORE)[0],
+        ]
+
+    def test_limit_past_remaining_never_raises(self):
+        for stream in self._streams():
+            total = 9
+            stream.next_block(4)
+            assert not stream.exhausted
+            tail = stream.next_block(total * 10)  # far past the remaining 5
+            assert len(tail) == total - 4
+            assert stream.exhausted
+            assert stream.depth == total
+
+    def test_exhausted_flips_exactly_at_depletion(self):
+        for stream in self._streams():
+            block = stream.next_block(8)
+            assert len(block) == 8
+            assert not stream.exhausted  # one tuple left
+            assert len(stream.next_block(1)) == 1
+            assert stream.exhausted
+
+    def test_depleted_stream_keeps_returning_empty(self):
+        for stream in self._streams():
+            stream.next_block(100)
+            assert stream.exhausted
+            for limit in (1, 7, 100):
+                assert stream.next_block(limit) == []
+            assert stream.next() is None
+            assert stream.depth == 9
+
+    def test_zero_and_negative_limits_are_noops(self):
+        for stream in self._streams():
+            assert stream.next_block(0) == []
+            assert stream.next_block(-3) == []
+            assert stream.depth == 0
+            assert not stream.exhausted
+
+    def test_block_prefix_stays_aligned(self):
+        """The columnar prefix cursor advances by exactly the block size,
+        including on the final short block."""
+        for stream in self._streams():
+            stream.next_block(7)
+            assert len(stream.prefix) == 7
+            stream.next_block(7)
+            assert len(stream.prefix) == 9
+            assert stream.prefix.arrays()[2].tolist() == [
+                t.tid for t in stream.seen
+            ]
 
 
 class TestOpenStreams:

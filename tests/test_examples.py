@@ -69,6 +69,13 @@ class TestExamples:
         assert "queries/s" in out
         assert "result-cache hits" in out
 
+    def test_sharded_service(self, capsys):
+        run_example("sharded_service.py")
+        out = capsys.readouterr().out
+        assert "identical ranked top-K" in out
+        assert "per-shard order cache" in out
+        assert "4 shards" in out
+
     def test_explain_run(self, capsys):
         run_example("explain_run.py")
         out = capsys.readouterr().out
