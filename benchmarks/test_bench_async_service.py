@@ -1,0 +1,132 @@
+"""Async serving benchmarks: throughput and the pipelined-prefetch win.
+
+Two records per simulated shard latency (1 ms and 10 ms per page — the
+range the paper's remote-service deployment lives in):
+
+* ``async_throughput[...]`` — queries/second of the awaitable service on
+  a fixed mixed-bucket workload over S=4 sharded relations, with the
+  accumulated *serial* remote latency (what a non-overlapped execution
+  would pay) alongside the measured wall-clock.
+* ``async_pipeline[...]`` — pipelined-prefetch vs serial (non-overlapped)
+  wall-clock on the same workload at ``max_inflight=1``, asserting the
+  acceptance bar: at >= 2 ms shard latency the pipelined run must finish
+  in <= 60% of the serial remote wall-clock with bit-identical answers.
+
+Set ``PROXRJ_BENCH_QUICK=1`` (CI smoke mode) to shrink the workloads.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import record_bench, synthetic_problem
+from repro.core import EuclideanLogScoring, ShardedRelation
+from repro.service import AsyncRankJoinService, LatencyModel, RankJoinService
+
+QUICK = bool(os.environ.get("PROXRJ_BENCH_QUICK"))
+N_TUPLES = 150 if QUICK else 400
+SHARDS = 4
+PAGE = 8
+K = 5
+SCORING = EuclideanLogScoring(1.0, 1.0, 1.0)
+
+
+def _workload(n_queries):
+    relations, base_query = synthetic_problem(
+        n_relations=2, n_tuples=N_TUPLES, seed=3
+    )
+    sharded = [
+        ShardedRelation.from_relation(r, shards=SHARDS) for r in relations
+    ]
+    rng = np.random.default_rng(0)
+    queries = [base_query + rng.uniform(-0.2, 0.2, 2) for _ in range(n_queries)]
+    return relations, sharded, queries
+
+
+@pytest.mark.parametrize("latency_ms", [1, 10])
+def test_async_throughput(benchmark, latency_ms):
+    """Queries/second of the async service at 1-10 ms shard latency."""
+    relations, sharded, queries = _workload(6 if QUICK else 16)
+    reference = RankJoinService(
+        relations, SCORING, k=K, result_cache_size=0
+    )
+    expected = [reference.submit(q) for q in queries]
+
+    def serve():
+        service = AsyncRankJoinService(
+            sharded, SCORING, k=K, result_cache_size=0,
+            latency=LatencyModel(base=latency_ms / 1e3, jitter=0.0),
+            page_size=PAGE, max_inflight=8,
+        )
+        start = time.perf_counter()
+        results = service.serve(queries)
+        wall = time.perf_counter() - start
+        meters = service.remote_meters()
+        service.close()
+        return results, wall, meters
+
+    results, wall, meters = benchmark.pedantic(serve, rounds=1, iterations=1)
+    for got, ref in zip(results, expected):
+        assert got.completed
+        assert [(c.key, c.score) for c in got.combinations] == [
+            (c.key, c.score) for c in ref.combinations
+        ], "async answers must be bit-identical to the in-memory path"
+    qps = len(queries) / wall
+    benchmark.extra_info["queries_per_sec"] = round(qps, 1)
+    benchmark.extra_info["simulated_remote_seconds"] = round(
+        meters["simulated_seconds"], 4
+    )
+    record_bench(
+        f"async_throughput[lat={latency_ms}ms]",
+        wall,
+        queries=len(queries),
+        queries_per_sec=round(qps, 1),
+        simulated_remote_seconds=round(meters["simulated_seconds"], 4),
+        remote_pages=meters["pages"],
+    )
+
+
+def test_async_pipeline_overlap(benchmark):
+    """Acceptance bar: pipelined prefetch <= 60% of serial wall-clock at
+    2 ms shard latency, S=4, identical results."""
+    relations, sharded, queries = _workload(3 if QUICK else 5)
+    walls = {}
+    outcomes = {}
+
+    def compare():
+        for pipelined in (True, False):
+            service = AsyncRankJoinService(
+                sharded, SCORING, k=K, result_cache_size=0,
+                latency=LatencyModel(base=0.002, jitter=0.0),
+                page_size=PAGE, max_inflight=1, pipelined=pipelined,
+            )
+            start = time.perf_counter()
+            outcomes[pipelined] = service.serve(queries)
+            walls[pipelined] = time.perf_counter() - start
+            service.close()
+        return walls
+
+    benchmark.pedantic(compare, rounds=1, iterations=1)
+    for got, ref in zip(outcomes[True], outcomes[False]):
+        assert got.completed and ref.completed
+        assert [(c.key, c.score) for c in got.combinations] == [
+            (c.key, c.score) for c in ref.combinations
+        ]
+    ratio = walls[True] / walls[False]
+    benchmark.extra_info["pipelined_seconds"] = round(walls[True], 4)
+    benchmark.extra_info["serial_seconds"] = round(walls[False], 4)
+    benchmark.extra_info["ratio"] = round(ratio, 3)
+    record_bench(
+        "async_pipeline[S4-lat2ms]",
+        walls[True],
+        serial_seconds=round(walls[False], 6),
+        ratio=round(ratio, 4),
+        queries=len(queries),
+    )
+    assert ratio <= 0.6, (
+        f"pipelined prefetch ({walls[True]*1e3:.1f} ms) must finish in "
+        f"<= 60% of the serial remote wall-clock "
+        f"({walls[False]*1e3:.1f} ms); got {ratio:.2f}"
+    )

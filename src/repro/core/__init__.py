@@ -7,6 +7,7 @@ from repro.core.access import (
     MergeStream,
     ScoreAccess,
     ShardCursor,
+    StreamInterrupted,
     open_streams,
 )
 from repro.core.algorithms import ALGORITHMS, cbpa, cbrr, make_algorithm, tbpa, tbrr
@@ -19,6 +20,7 @@ from repro.core.probing import ProbeRankJoin, ProbeRunResult
 from repro.core.pulling import PotentialAdaptive, PullingStrategy, RoundRobin
 from repro.core.relation import Combination, RankTuple, Relation
 from repro.core.storage import (
+    EndpointBackend,
     ShardedBackend,
     ShardedRelation,
     SingleShardBackend,
@@ -41,6 +43,8 @@ __all__ = [
     "MergeStream",
     "ScoreAccess",
     "ShardCursor",
+    "StreamInterrupted",
+    "EndpointBackend",
     "ShardedBackend",
     "ShardedRelation",
     "SingleShardBackend",

@@ -52,8 +52,21 @@ __all__ = [
     "MergeStream",
     "ScoreAccess",
     "ShardCursor",
+    "StreamInterrupted",
     "open_streams",
 ]
+
+
+class StreamInterrupted(RuntimeError):
+    """A stream gave up mid-pull (deadline expired, query cancelled).
+
+    Raised by streams whose data arrives asynchronously (remote shard
+    cursors) when the query's budget runs out while waiting for rows.
+    The engine treats it as a clean early stop: the run result carries
+    everything pulled so far plus the current bound, so the partial
+    top-K stays *certified* — never corrupt — exactly like a
+    ``max_pulls`` cut-off.
+    """
 
 
 class AccessKind(Enum):
@@ -491,7 +504,15 @@ class MergeStream:
         while len(block) < limit:
             staged = len(self._stage_tuples) - self._stage_pos
             if staged == 0:
-                if not self._refill(limit - len(block)):
+                try:
+                    refilled = self._refill(limit - len(block))
+                except StreamInterrupted:
+                    # Keep the object view consistent with the columnar
+                    # prefix (rows already served this call) before the
+                    # interrupt unwinds to the engine.
+                    self._seen.extend(block)
+                    raise
+                if not refilled:
                     break
                 staged = len(self._stage_tuples) - self._stage_pos
             take = min(limit - len(block), staged)
@@ -518,6 +539,21 @@ class MergeStream:
         if not live:
             return False
         span = max(needed, self.READAHEAD)
+        # Read-ahead hook for asynchronously fed cursors (remote shard
+        # streams): issue every shard's window request before blocking on
+        # any of them, so in-flight fetches overlap across shards.  A
+        # cursor's ``ensure`` must return only once its next
+        # ``min(span, remaining)`` rows are locally available (or raise
+        # :class:`StreamInterrupted`); in-memory cursors define neither
+        # method and skip both loops.
+        for c in live:
+            request = getattr(c, "request", None)
+            if request is not None:
+                request(span)
+        for c in live:
+            ensure = getattr(c, "ensure", None)
+            if ensure is not None:
+                ensure(span)
         if len(live) == 1:
             # Every other shard is drained: the merge degenerates to the
             # single-shard slicing fast path.

@@ -44,6 +44,7 @@ def _build(
     vectorise: bool,
     stream_factory,
     max_pulls: int | None,
+    should_stop,
 ) -> ProxRJ:
     bound = TightBound(dominance_period=dominance_period) if tight else CornerBound()
     pull = PotentialAdaptive() if adaptive else RoundRobin()
@@ -61,6 +62,7 @@ def _build(
         vectorise=vectorise,
         stream_factory=stream_factory,
         max_pulls=max_pulls,
+        should_stop=should_stop,
     )
 
 
@@ -77,6 +79,7 @@ def cbrr(
     vectorise: bool = True,
     stream_factory=None,
     max_pulls: int | None = None,
+    should_stop=None,
 ) -> ProxRJ:
     """Corner bound + round-robin: the HRJN baseline."""
     return _build(
@@ -85,6 +88,7 @@ def cbrr(
         dominance_period=None, bound_period=bound_period, pull_block=pull_block,
         use_index=use_index, vectorise=vectorise,
         stream_factory=stream_factory, max_pulls=max_pulls,
+        should_stop=should_stop,
     )
 
 
@@ -101,6 +105,7 @@ def cbpa(
     vectorise: bool = True,
     stream_factory=None,
     max_pulls: int | None = None,
+    should_stop=None,
 ) -> ProxRJ:
     """Corner bound + potential-adaptive: the HRJN* baseline."""
     return _build(
@@ -109,6 +114,7 @@ def cbpa(
         dominance_period=None, bound_period=bound_period, pull_block=pull_block,
         use_index=use_index, vectorise=vectorise,
         stream_factory=stream_factory, max_pulls=max_pulls,
+        should_stop=should_stop,
     )
 
 
@@ -126,6 +132,7 @@ def tbrr(
     vectorise: bool = True,
     stream_factory=None,
     max_pulls: int | None = None,
+    should_stop=None,
 ) -> ProxRJ:
     """Tight bound + round-robin (instance-optimal)."""
     return _build(
@@ -134,6 +141,7 @@ def tbrr(
         dominance_period=dominance_period, bound_period=bound_period,
         pull_block=pull_block, use_index=use_index, vectorise=vectorise,
         stream_factory=stream_factory, max_pulls=max_pulls,
+        should_stop=should_stop,
     )
 
 
@@ -151,6 +159,7 @@ def tbpa(
     vectorise: bool = True,
     stream_factory=None,
     max_pulls: int | None = None,
+    should_stop=None,
 ) -> ProxRJ:
     """Tight bound + potential-adaptive (the paper's best algorithm)."""
     return _build(
@@ -159,6 +168,7 @@ def tbpa(
         dominance_period=dominance_period, bound_period=bound_period,
         pull_block=pull_block, use_index=use_index, vectorise=vectorise,
         stream_factory=stream_factory, max_pulls=max_pulls,
+        should_stop=should_stop,
     )
 
 

@@ -43,10 +43,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
-from repro.core.access import AccessKind, open_streams
+from repro.core.access import AccessKind, StreamInterrupted, open_streams
 from repro.core.batchscore import CandidatePruner, QuadraticBatchScorer
 from repro.core.bounds.base import INFINITY, BoundingScheme, EngineState
 from repro.core.buffers import TopKBuffer
@@ -85,10 +86,12 @@ class RunResult:
     counters:
         Raw bounding-scheme counters (QP/LP solve counts etc.).
     completed:
-        False when the run was cut off by ``max_pulls`` before the
-        stopping condition held; the reported top-K is then only the best
-        of what was read (used to reproduce the paper's "CBPA did not
-        finish within five minutes" n=4 data point).
+        False when the run was cut off — by ``max_pulls``, by the
+        ``should_stop`` hook (deadlines/cancellation), or by a stream
+        raising :class:`~repro.core.access.StreamInterrupted` — before
+        the stopping condition held; the reported top-K is then only the
+        best of what was read (used to reproduce the paper's "CBPA did
+        not finish within five minutes" n=4 data point).
     """
 
     combinations: list[Combination]
@@ -105,6 +108,20 @@ class RunResult:
     def sum_depths(self) -> int:
         """The paper's primary I/O cost metric."""
         return int(sum(self.depths))
+
+    @property
+    def certified_count(self) -> int:
+        """How many leading combinations are *certified* final.
+
+        A combination scoring strictly above the final bound cannot be
+        displaced by any unseen combination, so the first
+        ``certified_count`` entries of ``combinations`` are exactly what
+        a completed run would also return.  Completed runs certify all
+        ``K``; cut-off runs (deadline, ``max_pulls``) certify the prefix
+        whose scores beat the bound at cut-off time — a *certified
+        partial top-K*, never a corrupt one.
+        """
+        return sum(1 for c in self.combinations if c.score > self.bound)
 
 
 class ProxRJ:
@@ -150,6 +167,16 @@ class ProxRJ:
         Optional callable returning one access stream per relation (e.g.
         :func:`repro.service.make_service_streams` partial); overrides
         the default local streams.  Streams must match ``kind``.
+    should_stop:
+        Optional zero-argument callable checked once per loop iteration
+        (before the pull).  Returning True ends the run early with
+        ``completed=False`` — the deadline/cancellation hook of the
+        async serving layer.  Streams may additionally raise
+        :class:`~repro.core.access.StreamInterrupted` from inside a pull
+        (e.g. a deadline expiring while remote rows are in flight),
+        which the loop converts into the same early stop; either way the
+        result is a certified partial: current top-K plus the bound in
+        force when the run stopped.
     """
 
     def __init__(
@@ -168,6 +195,7 @@ class ProxRJ:
         vectorise: bool = True,
         stream_factory=None,
         max_pulls: int | None = None,
+        should_stop: Callable[[], bool] | None = None,
     ) -> None:
         if not relations:
             raise ValueError("need at least one relation")
@@ -198,6 +226,7 @@ class ProxRJ:
         self.vectorise = vectorise
         self.stream_factory = stream_factory
         self.max_pulls = max_pulls
+        self.should_stop = should_stop
 
     def run(self) -> RunResult:
         """Execute Algorithm 1 and return the instrumented result."""
@@ -266,6 +295,9 @@ class ProxRJ:
             if self.max_pulls is not None and pulls >= self.max_pulls:
                 completed = False
                 break
+            if self.should_stop is not None and self.should_stop():
+                completed = False
+                break
             i = self.pull.choose_input(state, self.bound)
             if streams[i].exhausted:
                 # A misbehaving strategy returned an exhausted stream.
@@ -276,7 +308,11 @@ class ProxRJ:
             budget = self.pull_block
             if self.max_pulls is not None:
                 budget = min(budget, self.max_pulls - pulls)
-            block = self._pull_from(streams[i], budget)
+            try:
+                block = self._pull_from(streams[i], budget)
+            except StreamInterrupted:
+                completed = False
+                break
             if not block:
                 # The stream only discovered its exhaustion on this pull
                 # (e.g. a remote service returning an empty page); it now

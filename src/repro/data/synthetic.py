@@ -49,6 +49,15 @@ class SyntheticConfig:
     seed: int = 0
     shards: int = 1
     partition: str = "hash"
+    #: Serving-layer knobs: when ``remote_latency > 0`` the experiment
+    #: harness serves the generated relations through simulated remote
+    #: endpoints (per-call latency ``remote_latency + U(0,
+    #: remote_jitter)`` simulated seconds, ``remote_page_size`` tuples
+    #: per page).  The sampled data itself is identical for every
+    #: setting, so remote and local cells are directly comparable.
+    remote_latency: float = 0.0
+    remote_jitter: float = 0.0
+    remote_page_size: int = 10
 
     def __post_init__(self) -> None:
         if self.n_relations < 1:
@@ -70,6 +79,10 @@ class SyntheticConfig:
                 f"unknown partition scheme {self.partition!r}; "
                 f"choose from {PARTITIONERS}"
             )
+        if self.remote_latency < 0 or self.remote_jitter < 0:
+            raise ValueError("remote latency parameters must be non-negative")
+        if self.remote_page_size < 1:
+            raise ValueError("remote_page_size must be >= 1")
 
     def densities(self) -> list[float]:
         """Per-relation densities implementing the skew parameter.

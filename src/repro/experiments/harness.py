@@ -19,7 +19,13 @@ __all__ = ["Measurement", "CellResult", "run_cell", "run_synthetic_cell"]
 
 @dataclass(frozen=True)
 class Measurement:
-    """One (algorithm, dataset) run reduced to the paper's metrics."""
+    """One (algorithm, dataset) run reduced to the paper's metrics.
+
+    ``remote_seconds`` is the *simulated* network latency the run's
+    accesses would have paid against remote services (0 for local
+    cells) — the latency-weighted cost the paper's sumDepths metric is
+    a proxy for.
+    """
 
     algorithm: str
     sum_depths: int
@@ -29,6 +35,7 @@ class Measurement:
     dominance_seconds: float
     combinations_formed: int
     completed: bool
+    remote_seconds: float = 0.0
 
 
 @dataclass
@@ -77,6 +84,10 @@ class CellResult:
     def all_completed(self, algo: str) -> bool:
         return all(m.completed for m in self._per_algo(algo))
 
+    def mean_remote_seconds(self, algo: str) -> float:
+        runs = self._per_algo(algo)
+        return float(np.mean([m.remote_seconds for m in runs])) if runs else float("nan")
+
 
 def run_cell(
     label: str,
@@ -89,6 +100,9 @@ def run_cell(
     pull_block: int = 1,
     vectorise: bool = True,
     algorithms: tuple[str, ...] | None = None,
+    remote_latency: float = 0.0,
+    remote_jitter: float = 0.0,
+    remote_page_size: int = 10,
 ) -> CellResult:
     """Run every algorithm on every problem instance of one cell.
 
@@ -96,11 +110,23 @@ def run_cell(
     mode (same ranked top-K on completed runs; amortised bound updates
     and vectorised block scoring).  ``vectorise=False`` pins the scalar
     object-per-tuple path, the ablation baseline for the columnar engine.
+
+    ``remote_latency > 0`` serves every stream through the simulated
+    remote endpoints (:func:`repro.service.make_service_streams`) with
+    per-call latency ``remote_latency + U(0, remote_jitter)`` and pages
+    of ``remote_page_size`` tuples; each measurement then reports the
+    accumulated simulated network time as ``remote_seconds``.  Answers
+    are identical to local streams — only the cost model changes.
     """
     scoring = EuclideanLogScoring(settings.w_s, settings.w_q, settings.w_mu)
     cell = CellResult(label=label)
     algos = algorithms if algorithms is not None else settings.algorithms
-    for relations, query in problems:
+    latency_model = None
+    if remote_latency > 0 or remote_jitter > 0:
+        from repro.service.simulation import LatencyModel
+
+        latency_model = LatencyModel(base=remote_latency, jitter=remote_jitter)
+    for problem_index, (relations, query) in enumerate(problems):
         for algo in algos:
             kwargs: dict = {
                 "kind": kind,
@@ -110,6 +136,25 @@ def run_cell(
             }
             if algo.upper().startswith("TB"):
                 kwargs["dominance_period"] = dominance_period
+            opened: list = []
+            if latency_model is not None:
+                from repro.service.simulation import make_service_streams
+
+                def factory(
+                    _relations=relations, _query=query, _sink=opened
+                ) -> list:
+                    streams = make_service_streams(
+                        _relations,
+                        kind=kind,
+                        query=_query,
+                        page_size=remote_page_size,
+                        latency=latency_model,
+                        seed=problem_index,
+                    )
+                    _sink.extend(streams)
+                    return streams
+
+                kwargs["stream_factory"] = factory
             engine = make_algorithm(algo, relations, scoring, query, k, **kwargs)
             result = engine.run()
             cell.measurements.append(
@@ -122,6 +167,9 @@ def run_cell(
                     dominance_seconds=result.dominance_seconds,
                     combinations_formed=result.combinations_formed,
                     completed=result.completed,
+                    remote_seconds=float(
+                        sum(s.endpoint.simulated_seconds for s in opened)
+                    ),
                 )
             )
     return cell
@@ -143,6 +191,9 @@ def run_synthetic_cell(
     algorithms: tuple[str, ...] | None = None,
     shards: int = 1,
     partition: str = "hash",
+    remote_latency: float = 0.0,
+    remote_jitter: float = 0.0,
+    remote_page_size: int = 10,
 ) -> CellResult:
     """One Table 2 parameter point over ``settings.seeds`` fresh datasets.
 
@@ -150,6 +201,11 @@ def run_synthetic_cell(
     backend (same sampled tuples, per-shard sorted orders merged at
     access time) — completed runs report identical results and depths to
     ``shards=1``, so the cell isolates the storage layer's CPU cost.
+
+    ``remote_latency > 0`` (with optional ``remote_jitter`` /
+    ``remote_page_size``, matching the :class:`~repro.data.
+    SyntheticConfig` knobs) serves the cell through simulated remote
+    endpoints and reports the simulated network time per run.
     """
     problems = (
         generate_problem(
@@ -162,6 +218,9 @@ def run_synthetic_cell(
                 seed=seed,
                 shards=shards,
                 partition=partition,
+                remote_latency=remote_latency,
+                remote_jitter=remote_jitter,
+                remote_page_size=remote_page_size,
             )
         )
         for seed in range(settings.seeds)
@@ -176,4 +235,7 @@ def run_synthetic_cell(
         pull_block=pull_block,
         vectorise=vectorise,
         algorithms=algorithms,
+        remote_latency=remote_latency,
+        remote_jitter=remote_jitter,
+        remote_page_size=remote_page_size,
     )

@@ -2,12 +2,24 @@
 motivates.
 
 * :mod:`repro.service.simulation` — paged *remote* endpoints with
-  latency meters (the relations live behind a simulated network).
+  latency meters (the relations live behind a simulated network),
+  including the per-shard :class:`RemoteShardEndpoint` window API.
 * :mod:`repro.service.rankjoin` — a *local* multi-query
   :class:`RankJoinService` that runs many queries against shared
   relations with LRU-cached access orders and the block-pull engine.
+* :mod:`repro.service.async_service` — the async serving subsystem:
+  :class:`AsyncRankJoinService` with awaitable ``submit``, bounded
+  admission (backpressure), per-query deadlines/cancellation, and
+  pipelined-prefetch remote shard streams that overlap simulated
+  network latency across shards and against engine compute.
 """
 
+from repro.service.async_service import (
+    AsyncRankJoinService,
+    AsyncServiceStats,
+    QueryRejected,
+    RemoteShardStream,
+)
 from repro.service.rankjoin import (
     CachedOrder,
     CachedOrderStream,
@@ -16,17 +28,23 @@ from repro.service.rankjoin import (
 )
 from repro.service.simulation import (
     LatencyModel,
+    RemoteShardEndpoint,
     ServiceEndpoint,
     ServiceStream,
     make_service_streams,
 )
 
 __all__ = [
+    "AsyncRankJoinService",
+    "AsyncServiceStats",
+    "QueryRejected",
+    "RemoteShardStream",
     "CachedOrder",
     "CachedOrderStream",
     "RankJoinService",
     "ServiceStats",
     "LatencyModel",
+    "RemoteShardEndpoint",
     "ServiceEndpoint",
     "ServiceStream",
     "make_service_streams",

@@ -172,8 +172,13 @@ class CachedOrderStream:
 class ServiceStats:
     """Meters the service accumulates across submissions.
 
-    Not independently thread-safe: the owning service mutates these
-    counters under its own lock.
+    Independently thread-safe: every mutation goes through the single
+    :meth:`record` path, which applies all of a call's deltas atomically
+    under the stats object's own lock — concurrent ``submit`` calls can
+    never interleave half of one update with half of another, and
+    services never need to widen their own critical sections just to
+    count.  Subclasses may add counter fields; :meth:`record` accepts
+    any of them by name.
     """
 
     queries: int = 0
@@ -181,13 +186,26 @@ class ServiceStats:
     stream_cache_misses: int = 0
     result_cache_hits: int = 0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def record(self, **deltas: int) -> None:
+        """Atomically add ``deltas`` to the named counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self) -> dict[str, int]:
+        """A consistent point-in-time copy of every counter."""
+        with self._lock:
+            return {
+                name: value
+                for name, value in vars(self).items()
+                if not name.startswith("_")
+            }
+
     def as_dict(self) -> dict[str, int]:
-        return {
-            "queries": self.queries,
-            "stream_cache_hits": self.stream_cache_hits,
-            "stream_cache_misses": self.stream_cache_misses,
-            "result_cache_hits": self.result_cache_hits,
-        }
+        return self.snapshot()
 
 
 class _LRU:
@@ -354,10 +372,10 @@ class RankJoinService:
         )
         with self._lock:
             cached = self._orders.get(key)
-            if cached is not None:
-                self.stats.stream_cache_hits += 1
-                return cached
-            self.stats.stream_cache_misses += 1
+        if cached is not None:
+            self.stats.record(stream_cache_hits=1)
+            return cached
+        self.stats.record(stream_cache_misses=1)
         # Sort outside the lock: concurrent misses may duplicate work but
         # never block each other; last writer wins with an equal order.
         # The sorted streams materialise their order columnar at open
@@ -423,6 +441,17 @@ class RankJoinService:
 
     # -- submission --------------------------------------------------------
 
+    def _lookup_result(self, result_key) -> RunResult | None:
+        """Result-cache probe (and hit accounting) shared by the sync
+        and async front-ends; None on miss or with caching disabled."""
+        if self._results is None:
+            return None
+        with self._lock:
+            hit = self._results.get(result_key)
+        if hit is not None:
+            self.stats.record(result_cache_hits=1)
+        return hit
+
     def submit(self, query: np.ndarray, k: int | None = None) -> RunResult:
         """Run one query to completion and return its result.
 
@@ -433,13 +462,10 @@ class RankJoinService:
         canonical = self.canonical_query(query)
         bucket = self._bucket_key(canonical)
         result_key = (bucket, k)
-        with self._lock:
-            self.stats.queries += 1
-            if self._results is not None:
-                hit = self._results.get(result_key)
-                if hit is not None:
-                    self.stats.result_cache_hits += 1
-                    return hit
+        self.stats.record(queries=1)
+        hit = self._lookup_result(result_key)
+        if hit is not None:
+            return hit
         engine = make_algorithm(
             self.algorithm,
             self.relations,

@@ -332,3 +332,56 @@ class TestShardedService:
         svc.close()
         result = svc.submit(query)  # serial merge after close
         assert result.completed
+
+
+class TestServiceStatsAtomicity:
+    def test_record_is_the_single_atomic_update_path(self):
+        import threading
+
+        from repro.service import ServiceStats
+
+        stats = ServiceStats()
+
+        def bump():
+            for _ in range(1000):
+                stats.record(
+                    queries=1, stream_cache_hits=1, stream_cache_misses=1
+                )
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = stats.snapshot()
+        assert snap["queries"] == 8000
+        assert snap["stream_cache_hits"] == 8000
+        assert snap["stream_cache_misses"] == 8000
+
+    def test_snapshot_hides_internals(self):
+        from repro.service import ServiceStats
+
+        stats = ServiceStats()
+        stats.record(queries=2, result_cache_hits=1)
+        assert stats.as_dict() == {
+            "queries": 2,
+            "stream_cache_hits": 0,
+            "stream_cache_misses": 0,
+            "result_cache_hits": 1,
+        }
+
+    def test_concurrent_submits_count_exactly(self):
+        relations, query = generate_problem(
+            SyntheticConfig(n_relations=2, dims=2, n_tuples=80, seed=5)
+        )
+        service = RankJoinService(
+            relations, EuclideanLogScoring(1.0, 1.0, 1.0), k=3, max_workers=8
+        )
+        rng = np.random.default_rng(0)
+        queries = [query + rng.uniform(-0.2, 0.2, 2) for _ in range(40)]
+        service.submit_many(queries)
+        snap = service.stats.as_dict()
+        assert snap["queries"] == 40
+        hits_and_misses = snap["stream_cache_hits"] + snap["stream_cache_misses"]
+        # Every submit resolves each relation's order exactly once.
+        assert hits_and_misses == 80

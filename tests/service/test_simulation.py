@@ -73,6 +73,33 @@ class TestServiceEndpoint:
             ServiceEndpoint(make_relation(), kind=AccessKind.SCORE, page_size=0)
 
 
+class TestFetchWindow:
+    def test_bulk_window_spans_pages(self):
+        rel = make_relation()
+        ep = ServiceEndpoint(
+            rel, kind=AccessKind.DISTANCE, query=np.zeros(2), page_size=10
+        )
+        window = ep.fetch_window(25)
+        assert len(window) == 25  # whole 25-tuple relation in 3 pages
+        assert ep.calls == 3
+        d = [np.linalg.norm(t.vector) for t in window]
+        assert d == sorted(d)
+
+    def test_bulk_window_stops_at_exhaustion(self):
+        rel = make_relation(size=7)
+        ep = ServiceEndpoint(
+            rel, kind=AccessKind.DISTANCE, query=np.zeros(2), page_size=5
+        )
+        window = ep.fetch_window(50)
+        assert len(window) == 7
+        assert ep.calls == 2  # full page + short page, not ceil(50/5)
+
+    def test_invalid_limit(self):
+        ep = ServiceEndpoint(make_relation(), kind=AccessKind.SCORE)
+        with pytest.raises(ValueError):
+            ep.fetch_window(0)
+
+
 class TestServiceStream:
     def test_stream_interface_matches_local_access(self):
         from repro.core.access import DistanceAccess
@@ -98,6 +125,34 @@ class TestServiceStream:
         stream.next()
         assert stream.depth == 1  # one tuple consumed, though a page of 10 fetched
         assert stream.endpoint.tuples_served == 10
+
+    def test_next_block_bulk_fetches_deficit_in_one_window(self):
+        rel = make_relation()
+        stream = ServiceStream(
+            ServiceEndpoint(
+                rel, kind=AccessKind.DISTANCE, query=np.zeros(2), page_size=5
+            )
+        )
+        block = stream.next_block(17)
+        assert len(block) == 17
+        # One bulk window of ceil(17/5)=4 pages, not an interleaved
+        # page-at-a-time refill loop.
+        assert stream.endpoint.calls == 4
+        assert stream.depth == 17
+        # Overfetched tuples stay buffered for the next pull.
+        assert stream.next_block(3) and stream.endpoint.calls == 4
+
+    def test_next_block_depletion(self):
+        rel = make_relation(size=12)
+        stream = ServiceStream(
+            ServiceEndpoint(
+                rel, kind=AccessKind.DISTANCE, query=np.zeros(2), page_size=5
+            )
+        )
+        assert len(stream.next_block(100)) == 12
+        assert stream.exhausted
+        assert stream.next_block(4) == []
+        assert stream.next() is None
 
     def test_score_statistics(self):
         rel = make_relation(seed=4)

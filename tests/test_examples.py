@@ -55,6 +55,13 @@ class TestExamples:
         assert "skew" in out
         assert "adaptive" in out
 
+    def test_async_service(self, capsys):
+        run_example("async_service.py")
+        out = capsys.readouterr().out
+        assert "concurrent queries" in out
+        assert "latency hidden by pipelined prefetch" in out
+        assert "completed / expired" in out
+
     @pytest.mark.slow
     def test_cosine_extension(self, capsys):
         pytest.importorskip("scipy")
