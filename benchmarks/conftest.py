@@ -131,6 +131,7 @@ def run_and_record(benchmark, problem, algo, k=10, *, rounds=1, **algo_kwargs):
     benchmark.extra_info["combinations_formed"] = result.combinations_formed
     benchmark.extra_info["bound_seconds"] = round(result.bound_seconds, 6)
     benchmark.extra_info["dominance_seconds"] = round(result.dominance_seconds, 6)
+    benchmark.extra_info["solver_seconds"] = round(result.solver_seconds, 6)
     benchmark.extra_info["completed"] = result.completed
     record_bench(
         benchmark.name,
@@ -138,6 +139,9 @@ def run_and_record(benchmark, problem, algo, k=10, *, rounds=1, **algo_kwargs):
         sum_depths=result.sum_depths,
         combinations_formed=result.combinations_formed,
         completed=result.completed,
+        bound_seconds=round(result.bound_seconds, 6),
+        dominance_seconds=round(result.dominance_seconds, 6),
+        solver_seconds=round(result.solver_seconds, 6),
     )
     return result
 

@@ -1,0 +1,65 @@
+"""The batched bound kernel, and where TBPA's CPU time actually goes.
+
+The tight bound solves one tiny QP per stale partial combination and one
+feasibility LP per dominance candidate.  The paper already warns that
+"solving the LP might be too costly" — and on dominance-heavy workloads
+those solver loops dominate TBPA's engine time.  The bound-kernel
+refactor stops solving them one at a time: each refresh gathers every
+subset's QPs into a single masked batch call, and each dominance pass
+pivots all surviving feasibility LPs as one lockstep simplex wave.
+
+This example runs the same dominance-heavy n=3 workload through both
+execution strategies and prints the bound-time split
+(engine / bound / dominance / solver), demonstrating that
+
+* the answers are *identical* — same ranked top-K, depths and bound bit
+  for bit (the kernels are row-stable replicas of the scalar solvers);
+* the engine time drops by several x, almost all of it solver time won
+  back from the dominance LP loop.
+
+Run:  python examples/bound_kernel.py
+"""
+
+from repro.core import AccessKind, EuclideanLogScoring, make_algorithm
+from repro.data import SyntheticConfig, generate_problem
+
+relations, query = generate_problem(
+    SyntheticConfig(n_relations=3, dims=2, density=50.0, skew=1.0,
+                    n_tuples=80, seed=0)
+)
+scoring = EuclideanLogScoring(1.0, 1.0, 1.0)
+
+results = {}
+for kernel in (False, True):
+    engine = make_algorithm(
+        "TBPA", relations, scoring, query, 10,
+        kind=AccessKind.DISTANCE,
+        pull_block=8,
+        dominance_period=2,       # dominance-heavy: LP pass every 2 accesses
+        batch_kernel=kernel,
+    )
+    results[kernel] = engine.run()
+
+print(f"{'path':<16}{'engine':>12}{'bound':>11}{'dominance':>12}"
+      f"{'solver':>12}{'LPs':>7}{'QPs':>7}")
+for kernel, label in ((False, "scalar loops"), (True, "batched kernel")):
+    r = results[kernel]
+    print(f"{label:<16}"
+          f"{r.total_seconds * 1e3:>10.1f}ms"
+          f"{r.bound_seconds * 1e3:>9.1f}ms"
+          f"{r.dominance_seconds * 1e3:>10.1f}ms"
+          f"{r.solver_seconds * 1e3:>10.1f}ms"
+          f"{r.counters['lp_solves']:>7.0f}"
+          f"{r.counters['qp_solves']:>7.0f}")
+
+scalar, batched = results[False], results[True]
+assert batched.depths == scalar.depths and batched.bound == scalar.bound
+assert [(c.key, c.score) for c in batched.combinations] == [
+    (c.key, c.score) for c in scalar.combinations
+]
+print(f"\nidentical top-{len(batched.combinations)}, depths and bound; "
+      f"speedup {scalar.total_seconds / batched.total_seconds:.1f}x "
+      f"(acceptance bar 1.5x)")
+print("potentials memo:",
+      f"{batched.counters['potential_evals']:.0f} evaluations for "
+      f"{batched.counters['potential_consults']:.0f} strategy consultations")

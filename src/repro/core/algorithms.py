@@ -38,6 +38,7 @@ def _build(
     tight: bool,
     adaptive: bool,
     dominance_period: int | None,
+    batch_kernel: bool,
     bound_period: int,
     pull_block: int,
     use_index: bool,
@@ -46,7 +47,11 @@ def _build(
     max_pulls: int | None,
     should_stop,
 ) -> ProxRJ:
-    bound = TightBound(dominance_period=dominance_period) if tight else CornerBound()
+    bound = (
+        TightBound(dominance_period=dominance_period, batch_kernel=batch_kernel)
+        if tight
+        else CornerBound()
+    )
     pull = PotentialAdaptive() if adaptive else RoundRobin()
     return ProxRJ(
         relations,
@@ -85,7 +90,8 @@ def cbrr(
     return _build(
         relations, scoring, query, k,
         kind=kind, tight=False, adaptive=False,
-        dominance_period=None, bound_period=bound_period, pull_block=pull_block,
+        dominance_period=None, batch_kernel=True,
+        bound_period=bound_period, pull_block=pull_block,
         use_index=use_index, vectorise=vectorise,
         stream_factory=stream_factory, max_pulls=max_pulls,
         should_stop=should_stop,
@@ -111,7 +117,8 @@ def cbpa(
     return _build(
         relations, scoring, query, k,
         kind=kind, tight=False, adaptive=True,
-        dominance_period=None, bound_period=bound_period, pull_block=pull_block,
+        dominance_period=None, batch_kernel=True,
+        bound_period=bound_period, pull_block=pull_block,
         use_index=use_index, vectorise=vectorise,
         stream_factory=stream_factory, max_pulls=max_pulls,
         should_stop=should_stop,
@@ -126,6 +133,7 @@ def tbrr(
     *,
     kind: AccessKind = AccessKind.DISTANCE,
     dominance_period: int | None = None,
+    batch_kernel: bool = True,
     bound_period: int = 1,
     pull_block: int = 1,
     use_index: bool = False,
@@ -134,11 +142,16 @@ def tbrr(
     max_pulls: int | None = None,
     should_stop=None,
 ) -> ProxRJ:
-    """Tight bound + round-robin (instance-optimal)."""
+    """Tight bound + round-robin (instance-optimal).
+
+    ``batch_kernel=False`` pins the scalar per-subset/per-candidate bound
+    path — the reference the batched bound kernel is differenced against.
+    """
     return _build(
         relations, scoring, query, k,
         kind=kind, tight=True, adaptive=False,
-        dominance_period=dominance_period, bound_period=bound_period,
+        dominance_period=dominance_period, batch_kernel=batch_kernel,
+        bound_period=bound_period,
         pull_block=pull_block, use_index=use_index, vectorise=vectorise,
         stream_factory=stream_factory, max_pulls=max_pulls,
         should_stop=should_stop,
@@ -153,6 +166,7 @@ def tbpa(
     *,
     kind: AccessKind = AccessKind.DISTANCE,
     dominance_period: int | None = None,
+    batch_kernel: bool = True,
     bound_period: int = 1,
     pull_block: int = 1,
     use_index: bool = False,
@@ -161,11 +175,16 @@ def tbpa(
     max_pulls: int | None = None,
     should_stop=None,
 ) -> ProxRJ:
-    """Tight bound + potential-adaptive (the paper's best algorithm)."""
+    """Tight bound + potential-adaptive (the paper's best algorithm).
+
+    ``batch_kernel=False`` pins the scalar per-subset/per-candidate bound
+    path — the reference the batched bound kernel is differenced against.
+    """
     return _build(
         relations, scoring, query, k,
         kind=kind, tight=True, adaptive=True,
-        dominance_period=dominance_period, bound_period=bound_period,
+        dominance_period=dominance_period, batch_kernel=batch_kernel,
+        bound_period=bound_period,
         pull_block=pull_block, use_index=use_index, vectorise=vectorise,
         stream_factory=stream_factory, max_pulls=max_pulls,
         should_stop=should_stop,

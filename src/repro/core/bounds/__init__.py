@@ -4,9 +4,15 @@ plus the geometry, dominance and numeric-fallback machinery behind them."""
 from repro.core.bounds.approximate import ApproxTightBound
 from repro.core.bounds.base import BoundCounters, BoundingScheme, EngineState
 from repro.core.bounds.corner import CornerBound
+from repro.core.bounds.dominance import (
+    dominance_lp_problems,
+    dominated_mask,
+    dominated_mask_batch,
+)
 from repro.core.bounds.geometry import (
     CompletionResult,
     PartialGeometry,
+    completion_geometry,
     dominance_coefficients,
     partial_geometry,
     score_access_completion,
@@ -15,17 +21,23 @@ from repro.core.bounds.geometry import (
     unconstrained_optimum,
 )
 from repro.core.bounds.tight import TightBound
+from repro.core.bounds.workspace import BoundWorkspace
 
 __all__ = [
     "ApproxTightBound",
     "BoundCounters",
     "BoundingScheme",
+    "BoundWorkspace",
     "EngineState",
     "CornerBound",
     "TightBound",
     "CompletionResult",
     "PartialGeometry",
+    "completion_geometry",
     "dominance_coefficients",
+    "dominance_lp_problems",
+    "dominated_mask",
+    "dominated_mask_batch",
     "partial_geometry",
     "score_access_completion",
     "score_access_completion_batch",

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.access import AccessKind
 from repro.core.buffers import TopKBuffer
+from repro.core.bounds.workspace import BoundWorkspace
 from repro.core.relation import RankTuple
 from repro.core.scoring import Scoring
 
@@ -45,6 +46,11 @@ class EngineState:
     streams: list["_BaseStream"]
     k: int
     output: TopKBuffer
+    #: Per-run scratch arena + memoisation shared by the bound stack
+    #: (see :mod:`repro.core.bounds.workspace`).  The engine creates one
+    #: per run; schemes driven without an engine fall back to a private
+    #: instance.
+    workspace: BoundWorkspace | None = None
 
     @property
     def n(self) -> int:
@@ -96,8 +102,16 @@ class BoundCounters:
     entries_created: int = 0
     entries_revalidated: int = 0
     entries_dominated: int = 0
+    #: Strategy consultations of ``potentials`` vs. actual sweeps — the
+    #: gap is the work the per-version memo saves (PA re-consults the
+    #: bound once per block, the bound only changes once per refresh).
+    potential_consults: int = 0
+    potential_evals: int = 0
     bound_seconds: float = 0.0
     dominance_seconds: float = 0.0
+    #: Wall-clock inside the LP/QP solver kernels proper — the share of
+    #: ``bound_seconds`` a faster solver could still win back.
+    solver_seconds: float = 0.0
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -108,8 +122,11 @@ class BoundCounters:
             "entries_created": self.entries_created,
             "entries_revalidated": self.entries_revalidated,
             "entries_dominated": self.entries_dominated,
+            "potential_consults": self.potential_consults,
+            "potential_evals": self.potential_evals,
             "bound_seconds": self.bound_seconds,
             "dominance_seconds": self.dominance_seconds,
+            "solver_seconds": self.solver_seconds,
         }
 
 

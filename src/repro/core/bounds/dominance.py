@@ -12,11 +12,11 @@ and alpha's dominance region is the intersection over all competitors
 alpha, so alpha is skipped by all future bound computations — permanently,
 because new accesses only add competitors (shrinking regions further).
 
-Emptiness is a feasibility LP (eq. 35), answered here by the
-Chebyshev-centre test of :mod:`repro.optim.simplex`.  Because the LP cost
-grows with both the number of candidates and the number of constraints
-(the paper remarks that "solving the LP might be too costly"), two *sound*
-accelerations wrap it:
+Emptiness is a feasibility LP (eq. 35), answered by the Chebyshev-centre
+test of :mod:`repro.optim.simplex`.  Because the LP cost grows with both
+the number of candidates and the number of constraints (the paper remarks
+that "solving the LP might be too costly"), two *sound* accelerations
+wrap it:
 
 1. **Witness pre-pass** (vectorised): if alpha beats every competitor at
    its own unconstrained optimum ``y_alpha = -b_alpha / a``, that point
@@ -29,7 +29,19 @@ accelerations wrap it:
    while "non-empty" is treated as inconclusive and the candidate is
    conservatively kept.
 
-Both directions preserve the invariant correctness depends on: a live
+The surviving LPs come in two execution strategies: the scalar loop of
+:func:`dominated_mask` (one :func:`~repro.optim.polyhedron_feasible_point`
+call per candidate — scipy-accelerated when available), and the batched
+bound kernel, where :func:`dominance_lp_problems` only *assembles* the
+per-candidate ``(G, h)`` blocks so the caller can stack every subset's
+problems of a whole dominance pass into one
+:func:`~repro.optim.polyhedron_feasible_point_batch` lockstep call
+(:func:`dominated_mask_batch` is the single-subset convenience wrapper).
+Both strategies share the pre-pass and the assembly, and the lockstep
+kernel's emptiness verdicts agree with the scalar test's, so the masks
+they produce are identical.
+
+All directions preserve the invariant correctness depends on: a live
 partial combination is never flagged dominated.
 """
 
@@ -37,12 +49,101 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.optim.simplex import polyhedron_feasible_point
+from repro.optim.simplex import (
+    polyhedron_feasible_point,
+    polyhedron_feasible_point_batch,
+)
 
-__all__ = ["dominated_mask"]
+__all__ = ["dominated_mask", "dominated_mask_batch", "dominance_lp_problems"]
 
 _MAX_LP_CONSTRAINTS = 64
 _WITNESS_TOL = 1e-9
+
+
+def _witness_prepass(
+    bs: np.ndarray,
+    cs: np.ndarray,
+    already_dominated: np.ndarray,
+    quad_coeff: float,
+    witnesses: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
+    """Passes 0 and 1 (cached witnesses + unconstrained-optimum probes).
+
+    Returns ``(out, live, survivors, vals)``: the copied dominated mask,
+    the live candidate indices, the per-live-candidate survivor flags,
+    and the probe value matrix (``None`` when the pre-pass is disabled).
+    ``witnesses`` rows of certified survivors are updated in place.
+    """
+    out = np.asarray(already_dominated, dtype=bool).copy()
+    live = np.flatnonzero(~out)
+    survivors = np.zeros(len(live), dtype=bool)
+    if len(live) < 2:
+        return out, live, survivors, None
+
+    b_live = bs[live]
+    c_live = cs[live]
+
+    # g_alpha(y) = 2 b_alpha' y + c_alpha; alpha beats beta at y iff
+    # g_alpha(y) <= g_beta(y).
+
+    # Pass 0: cached witnesses.  vals_w[i, j] = g_j(w_i); candidate i
+    # survives if it still wins at its own stored witness.
+    if witnesses is not None:
+        w_live = witnesses[live]
+        cached = ~np.isnan(w_live[:, 0])
+        if cached.any():
+            vals_w = 2.0 * w_live[cached] @ b_live.T + c_live[None, :]
+            own = np.take_along_axis(
+                vals_w, np.flatnonzero(cached)[:, None], axis=1
+            )[:, 0]
+            still_valid = own <= vals_w.min(axis=1) + _WITNESS_TOL
+            survivors[np.flatnonzero(cached)[still_valid]] = True
+
+    # Pass 1: probe every candidate's unconstrained optimum
+    # y_alpha = -b_alpha / a.  Every *winner at any probed point* is
+    # certainly non-dominated, so the full value matrix yields far more
+    # witnesses than each candidate's own optimum alone.
+    vals = None
+    if quad_coeff > 0.0:
+        ys = -b_live / quad_coeff  # (u_live, d)
+        vals = 2.0 * ys @ b_live.T + c_live[None, :]  # vals[i, j] = g_j(y_i)
+        row_min = vals.min(axis=1)
+        diag_ok = np.diagonal(vals) <= row_min + _WITNESS_TOL
+        if witnesses is not None:
+            for pos in np.flatnonzero(diag_ok & ~survivors):
+                witnesses[live[pos]] = ys[pos]
+        survivors |= diag_ok
+        winners = vals <= row_min[:, None] + _WITNESS_TOL
+        win_rows = winners.argmax(axis=0)
+        new_winners = winners.any(axis=0) & ~survivors
+        if witnesses is not None:
+            for pos in np.flatnonzero(new_winners):
+                witnesses[live[pos]] = ys[win_rows[pos]]
+        survivors |= new_winners
+    return out, live, survivors, vals
+
+
+def _lp_problem(
+    bs: np.ndarray,
+    cs: np.ndarray,
+    live: np.ndarray,
+    vals: np.ndarray | None,
+    pos: int,
+    max_lp_constraints: int,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """The feasibility-LP block of live candidate ``pos``: half-space
+    rows against its ``max_lp_constraints`` strongest competitors, or
+    ``None`` when there is no competitor."""
+    alpha = live[pos]
+    g_at_opt = vals[pos] if vals is not None else cs[live]
+    order = np.argsort(g_at_opt, kind="stable")
+    competitors = [live[q] for q in order if live[q] != alpha]
+    competitors = competitors[:max_lp_constraints]
+    if not competitors:
+        return None
+    g = 2.0 * (bs[alpha] - bs[competitors])
+    h = cs[competitors] - cs[alpha]
+    return g, h
 
 
 def dominated_mask(
@@ -92,71 +193,100 @@ def dominated_mask(
     """
     bs = np.atleast_2d(np.asarray(bs, dtype=float))
     cs = np.asarray(cs, dtype=float)
-    u = len(cs)
-    out = np.asarray(already_dominated, dtype=bool).copy()
-    live = np.flatnonzero(~out)
+    out, live, survivors, vals = _witness_prepass(
+        bs, cs, already_dominated, quad_coeff, witnesses
+    )
     if len(live) < 2:
         return out, 0
-
-    b_live = bs[live]
-    c_live = cs[live]
-    survivors = np.zeros(len(live), dtype=bool)
-
-    # g_alpha(y) = 2 b_alpha' y + c_alpha; alpha beats beta at y iff
-    # g_alpha(y) <= g_beta(y).
-
-    # Pass 0: cached witnesses.  vals_w[i, j] = g_j(w_i); candidate i
-    # survives if it still wins at its own stored witness.
-    if witnesses is not None:
-        w_live = witnesses[live]
-        cached = ~np.isnan(w_live[:, 0])
-        if cached.any():
-            vals_w = 2.0 * w_live[cached] @ b_live.T + c_live[None, :]
-            own = np.take_along_axis(
-                vals_w, np.flatnonzero(cached)[:, None], axis=1
-            )[:, 0]
-            still_valid = own <= vals_w.min(axis=1) + _WITNESS_TOL
-            survivors[np.flatnonzero(cached)[still_valid]] = True
-
-    # Pass 1: probe every candidate's unconstrained optimum
-    # y_alpha = -b_alpha / a.  Every *winner at any probed point* is
-    # certainly non-dominated, so the full value matrix yields far more
-    # witnesses than each candidate's own optimum alone.
-    vals = None
-    if quad_coeff > 0.0:
-        ys = -b_live / quad_coeff  # (u_live, d)
-        vals = 2.0 * ys @ b_live.T + c_live[None, :]  # vals[i, j] = g_j(y_i)
-        row_min = vals.min(axis=1)
-        diag_ok = np.diagonal(vals) <= row_min + _WITNESS_TOL
-        if witnesses is not None:
-            for pos in np.flatnonzero(diag_ok & ~survivors):
-                witnesses[live[pos]] = ys[pos]
-        survivors |= diag_ok
-        winners = vals <= row_min[:, None] + _WITNESS_TOL
-        win_rows = winners.argmax(axis=0)
-        new_winners = winners.any(axis=0) & ~survivors
-        if witnesses is not None:
-            for pos in np.flatnonzero(new_winners):
-                witnesses[live[pos]] = ys[win_rows[pos]]
-        survivors |= new_winners
 
     # Pass 2: feasibility LP for the remaining candidates, against their
     # strongest competitors.
     lp_count = 0
     for pos in np.flatnonzero(~survivors):
-        alpha = live[pos]
-        g_at_opt = vals[pos] if vals is not None else c_live
-        order = np.argsort(g_at_opt, kind="stable")
-        competitors = [live[q] for q in order if live[q] != alpha]
-        competitors = competitors[:max_lp_constraints]
-        if not competitors:
+        problem = _lp_problem(bs, cs, live, vals, pos, max_lp_constraints)
+        if problem is None:
             continue
-        g = 2.0 * (bs[alpha] - bs[competitors])
-        h = cs[competitors] - cs[alpha]
+        g, h = problem
         lp_count += 1
         point = polyhedron_feasible_point(g, h)
         if point is None:
+            out[live[pos]] = True
+        elif witnesses is not None:
+            witnesses[live[pos]] = point
+    return out, lp_count
+
+
+def dominance_lp_problems(
+    bs: np.ndarray,
+    cs: np.ndarray,
+    already_dominated: np.ndarray,
+    *,
+    quad_coeff: float,
+    max_lp_constraints: int = _MAX_LP_CONSTRAINTS,
+    witnesses: np.ndarray | None = None,
+) -> tuple[np.ndarray, list[tuple[int, np.ndarray, np.ndarray]]]:
+    """The gather half of a batched dominance pass for one subset ``M``.
+
+    Runs the witness pre-pass (updating ``witnesses`` in place exactly
+    like :func:`dominated_mask`) and *assembles* — without solving — the
+    feasibility-LP blocks of the candidates it could not certify.
+
+    Returns
+    -------
+    (out, problems):
+        The copied dominated mask (no new flags yet) and one
+        ``(candidate_index, G, h)`` triple per pending LP.  The caller
+        stacks the blocks of many subsets into one
+        :func:`~repro.optim.polyhedron_feasible_point_batch` call and
+        applies the verdicts: ``empty`` → ``out[candidate] = True``,
+        non-empty → store the returned point in ``witnesses[candidate]``.
+    """
+    bs = np.atleast_2d(np.asarray(bs, dtype=float))
+    cs = np.asarray(cs, dtype=float)
+    out, live, survivors, vals = _witness_prepass(
+        bs, cs, already_dominated, quad_coeff, witnesses
+    )
+    problems: list[tuple[int, np.ndarray, np.ndarray]] = []
+    if len(live) < 2:
+        return out, problems
+    for pos in np.flatnonzero(~survivors):
+        problem = _lp_problem(bs, cs, live, vals, pos, max_lp_constraints)
+        if problem is not None:
+            problems.append((int(live[pos]), *problem))
+    return out, problems
+
+
+def dominated_mask_batch(
+    bs: np.ndarray,
+    cs: np.ndarray,
+    already_dominated: np.ndarray,
+    *,
+    quad_coeff: float,
+    max_lp_constraints: int = _MAX_LP_CONSTRAINTS,
+    witnesses: np.ndarray | None = None,
+) -> tuple[np.ndarray, int]:
+    """Batched :func:`dominated_mask`: same pre-pass and constraint
+    assembly, with the pending feasibility LPs solved in one lockstep
+    :func:`~repro.optim.polyhedron_feasible_point_batch` call instead of
+    a per-candidate loop.  The returned mask is identical to the scalar
+    path's (the kernels' emptiness verdicts agree); only the cached
+    witness *points* may differ when scipy answers the scalar LPs."""
+    out, problems = dominance_lp_problems(
+        bs,
+        cs,
+        already_dominated,
+        quad_coeff=quad_coeff,
+        max_lp_constraints=max_lp_constraints,
+        witnesses=witnesses,
+    )
+    if not problems:
+        return out, 0
+    points, empty = polyhedron_feasible_point_batch(
+        [g for _, g, _ in problems], [h for _, _, h in problems]
+    )
+    for k, (alpha, _, _) in enumerate(problems):
+        if empty[k]:
             out[alpha] = True
         elif witnesses is not None:
-            witnesses[alpha] = point
-    return out, lp_count
+            witnesses[alpha] = points[k]
+    return out, len(problems)

@@ -43,6 +43,7 @@ __all__ = [
     "CompletionResult",
     "partial_geometry",
     "unconstrained_optimum",
+    "completion_geometry",
     "solve_completion",
     "solve_completion_batch",
     "score_access_completion",
@@ -217,6 +218,55 @@ def solve_completion(
     return CompletionResult(value=value, theta=qp.x, positions=positions)
 
 
+def completion_geometry(
+    scoring: QuadraticFormScoring,
+    query: np.ndarray,
+    scores: np.ndarray,
+    vectors: np.ndarray,
+    unseen_sigma: dict[int, float],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The pre-QP half of :func:`solve_completion_batch`: per-entry ray
+    geometry and score constants for one subset ``M``.
+
+    Returns ``(proj, residual_sq, score_term)`` — the seen projections
+    ``(E, m)`` (the QP's equality values, columns in member order), the
+    orthogonal residuals ``(E,)`` and the summed score-utility term
+    ``(E,)``.  Split out so the batched bound kernel can gather many
+    subsets' QP problems (each with its own fixed/lower pattern) before
+    a single :func:`~repro.optim.solve_bound_qp_masked` call.
+    """
+    query = np.asarray(query, dtype=float)
+    scores = np.atleast_2d(np.asarray(scores, dtype=float))
+    vectors = np.asarray(vectors, dtype=float)
+    num_entries, m = scores.shape
+    centred = vectors - query  # (E, m, d)
+
+    if m > 0:
+        nu = centred.mean(axis=1)  # (E, d)
+        norms = np.linalg.norm(nu, axis=1)
+        direction = np.zeros_like(nu)
+        good = norms > _EPS
+        direction[good] = nu[good] / norms[good, None]
+        direction[~good, 0] = 1.0  # rotation-invariant case: any axis
+        proj = np.einsum("emd,ed->em", centred, direction)  # (E, m)
+        residual_sq = np.einsum("emd,emd->e", centred, centred) - np.einsum(
+            "em,em->e", proj, proj
+        )
+    else:
+        proj = np.zeros((num_entries, 0))
+        residual_sq = np.zeros(num_entries)
+
+    score_term = scoring.w_s * (
+        (
+            scoring.score_utility_array(scores).sum(axis=1)
+            if m
+            else np.zeros(num_entries)
+        )
+        + sum(scoring.score_utility(unseen_sigma[j]) for j in sorted(unseen_sigma))
+    )
+    return proj, residual_sq, score_term
+
+
 def solve_completion_batch(
     scoring: QuadraticFormScoring,
     n: int,
@@ -245,40 +295,13 @@ def solve_completion_batch(
     (values, thetas):
         ``t(tau)`` per entry and the optimal theta vectors ``(E, n)``.
     """
-    query = np.asarray(query, dtype=float)
-    scores = np.atleast_2d(np.asarray(scores, dtype=float))
-    vectors = np.asarray(vectors, dtype=float)
-    num_entries, m = scores.shape
-    centred = vectors - query  # (E, m, d)
-
-    if m > 0:
-        nu = centred.mean(axis=1)  # (E, d)
-        norms = np.linalg.norm(nu, axis=1)
-        direction = np.zeros_like(nu)
-        good = norms > _EPS
-        direction[good] = nu[good] / norms[good, None]
-        direction[~good, 0] = 1.0  # rotation-invariant case: any axis
-        proj = np.einsum("emd,ed->em", centred, direction)  # (E, m)
-        residual_sq = np.einsum("emd,emd->e", centred, centred) - np.einsum(
-            "em,em->e", proj, proj
-        )
-    else:
-        proj = np.zeros((num_entries, 0))
-        residual_sq = np.zeros(num_entries)
-
+    proj, residual_sq, score_term = completion_geometry(
+        scoring, query, scores, vectors, unseen_sigma
+    )
     lower_idx = sorted(unseen_delta)
     lower_vals = np.array([unseen_delta[j] for j in lower_idx])
     h = spread_matrix(n, scoring.w_q, scoring.w_mu)
     qp_vals, thetas = solve_bound_qp_batch(h, member_idx, proj, lower_idx, lower_vals)
-
-    score_term = scoring.w_s * (
-        (
-            scoring.score_utility_array(scores).sum(axis=1)
-            if m
-            else np.zeros(num_entries)
-        )
-        + sum(scoring.score_utility(unseen_sigma[j]) for j in lower_idx)
-    )
     values = score_term - qp_vals - (scoring.w_q + scoring.w_mu) * residual_sq
     return values, thetas
 

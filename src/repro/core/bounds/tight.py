@@ -19,6 +19,17 @@ access), with the engineering refinements called out in DESIGN.md:
   position-grid batches, QP-solved in one vectorised call, and appended
   in amortised O(1) per entry; staleness scans and per-subset maxima are
   array reductions instead of per-entry Python loops.
+* **Batched bound kernel** (default, ``batch_kernel=True``): instead of
+  one QP call per subset and one feasibility LP per dominance candidate,
+  a refresh *gathers* every stale subset's completion problems into the
+  run's :class:`~repro.core.bounds.workspace.BoundWorkspace` slabs and
+  makes a single :func:`~repro.optim.solve_bound_qp_masked` call (mixed
+  fixed/lower patterns, vectorised active-set enumeration), and a
+  dominance pass stacks every subset's surviving feasibility LPs into a
+  single lockstep :func:`~repro.optim.polyhedron_feasible_point_batch`
+  call.  The kernels' row-stable arithmetic makes completed runs
+  bit-identical to the scalar path (``batch_kernel=False``, the
+  per-subset/per-candidate reference kept for the differential suite).
 * The scheme synchronises against the streams' seen prefixes, so the
   engine may invoke it only every ``bound_period`` pulls (the paper's
   practical-systems trade-off) and the incremental cross-product still
@@ -27,11 +38,18 @@ access), with the engineering refinements called out in DESIGN.md:
   tuple* need fresh solves; cached solutions of subsets with ``i not in
   M`` are revalidated in O(1): the constraint ``theta_i >= delta_i`` only
   shrinks the feasible set, so a cached optimum that still satisfies it
-  remains optimal.
+  remains optimal.  Subsets none of whose relevant streams advanced are
+  not re-solved at all — results are cached incrementally across blocks.
 * Subsets missing an exhausted relation are dead — no continuation can
   complete them — and are dropped permanently (their ``t_M = -inf``).
 * Dominated partial combinations (Sec. 3.2.2) are flagged periodically
   and skipped forever; see :mod:`repro.core.bounds.dominance`.
+* Per-relation potentials are memoised per bound version in the
+  workspace: ``pot_i`` reads only the subsets' cached maxima, which
+  change exactly when :meth:`update` runs, so the potential-adaptive
+  strategy's once-per-block consultation costs a cached-list copy unless
+  the bound actually moved (``potential_consults`` vs.
+  ``potential_evals`` in the counters).
 * Score access keeps a single best entry per subset (Algorithm 3): the
   paper shows relative order within ``PC(M)`` never changes under score
   access, so everything else is immediately dominated.
@@ -40,20 +58,31 @@ access), with the engineering refinements called out in DESIGN.md:
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.access import AccessKind
 from repro.core.bounds.base import NEG_INFINITY, BoundingScheme, EngineState
-from repro.core.bounds.dominance import dominated_mask
+from repro.core.bounds.dominance import dominance_lp_problems
 from repro.core.bounds.geometry import (
+    completion_geometry,
     dominance_coefficients_batch,
     score_access_completion,
     score_access_completion_batch,
-    solve_completion_batch,
 )
+from repro.core.bounds.workspace import BoundWorkspace
 from repro.core.relation import RankTuple
 from repro.core.scoring import QuadraticFormScoring
+from repro.optim.qp import (
+    solve_bound_qp_batch,
+    solve_bound_qp_masked,
+    spread_matrix,
+)
+from repro.optim.simplex import (
+    polyhedron_feasible_point,
+    polyhedron_feasible_point_batch,
+)
 
 __all__ = ["TightBound"]
 
@@ -154,6 +183,17 @@ class _SubsetState:
         self.t_max = float(live.max()) if live.size else NEG_INFINITY
 
 
+@dataclass
+class _QPChunk:
+    """One subset's pending completion problems within a gathered refresh:
+    ``rows`` of ``sub``'s columnar arrays whose QP inputs occupy
+    ``span`` of the workspace slabs."""
+
+    sub: _SubsetState
+    rows: np.ndarray
+    span: slice
+
+
 class TightBound(BoundingScheme):
     """Tight bounding scheme for either access kind.
 
@@ -164,22 +204,42 @@ class TightBound(BoundingScheme):
         access (Figures 3(m)/(n) sweep this).  ``None`` disables dominance
         (the paper's "period = infinity").  Ignored under score access,
         where Algorithm 3's best-entry rule plays the same role for free.
+    batch_kernel:
+        ``True`` (default) routes each refresh through the batched bound
+        kernel: one gathered :func:`~repro.optim.solve_bound_qp_masked`
+        call for every stale subset's QPs and one lockstep
+        :func:`~repro.optim.polyhedron_feasible_point_batch` call per
+        dominance pass.  ``False`` keeps the per-subset / per-candidate
+        scalar path — the reference the differential suite pins the
+        kernel against (completed runs are bit-identical either way).
     """
 
-    def __init__(self, dominance_period: int | None = None) -> None:
+    def __init__(
+        self, dominance_period: int | None = None, *, batch_kernel: bool = True
+    ) -> None:
         super().__init__()
         if dominance_period is not None and dominance_period < 1:
             raise ValueError("dominance_period must be >= 1 (or None)")
         self.dominance_period = dominance_period
+        self.batch_kernel = batch_kernel
         self._subsets: list[_SubsetState] | None = None
         self._synced: list[int] = []
         self._accesses = 0
+        self._version = 0
+        self._own_workspace: BoundWorkspace | None = None
 
     @property
     def is_tight(self) -> bool:
         return True
 
     # -- shared plumbing ---------------------------------------------------
+
+    def _workspace(self, state: EngineState) -> BoundWorkspace:
+        if state.workspace is not None:
+            return state.workspace
+        if self._own_workspace is None:
+            self._own_workspace = BoundWorkspace()
+        return self._own_workspace
 
     def _init_subsets(self, state: EngineState) -> list[_SubsetState]:
         if self._subsets is None:
@@ -218,6 +278,7 @@ class TightBound(BoundingScheme):
         else:
             t = self._update_score(state, subsets, new_counts)
         self._synced = [s.depth for s in state.streams]
+        self._version += 1
         # Keep the two stacked-bar shares disjoint (Figure 3(m)/(n)): the
         # dominance pass runs inside this call but reports its own share.
         elapsed = time.perf_counter() - start
@@ -226,7 +287,13 @@ class TightBound(BoundingScheme):
         return t
 
     def potentials(self, state: EngineState) -> list[float]:
+        self.counters.potential_consults += 1
+        ws = self._workspace(state)
+        cached = ws.potentials_if_fresh(self._version)
+        if cached is not None:
+            return list(cached)
         subsets = self._init_subsets(state)
+        self.counters.potential_evals += 1
         pots = [NEG_INFINITY] * state.n
         for sub in subsets:
             if sub.dead:
@@ -234,7 +301,8 @@ class TightBound(BoundingScheme):
             for i in sub.others:
                 if sub.t_max > pots[i]:
                     pots[i] = sub.t_max
-        return pots
+        ws.cache_potentials(self._version, pots)
+        return list(pots)
 
     def _mark_dead_subsets(self, state: EngineState, subsets: list[_SubsetState]) -> None:
         for sub in subsets:
@@ -307,7 +375,12 @@ class TightBound(BoundingScheme):
 
         self._mark_dead_subsets(state, subsets)
         track_dominance = self.dominance_period is not None
+        gathered = self.batch_kernel
 
+        # Gather phase (batch kernel) / solve phase (scalar reference).
+        # ``pending`` collects every subset's stale completion problems
+        # so the flush makes exactly one masked-QP kernel call.
+        pending: list[tuple[_SubsetState, np.ndarray]] = []
         for sub in subsets:
             if sub.dead:
                 continue
@@ -316,18 +389,24 @@ class TightBound(BoundingScheme):
             unseen_sigma = {j: sigma_max[j] for j in sub.others}
 
             # New partial combinations (subsets intersecting the new
-            # pulls), gathered columnar and solved as one vectorised
-            # batch per subset.
+            # pulls), gathered columnar; the staleness scan below covers
+            # only the pre-existing rows — fresh rows are solved with the
+            # current deltas, so they can never be stale in this refresh.
+            pre_count = sub.count
             new_scores, new_vecs = self._new_member_batch(state, sub, new_counts)
             e_new = len(new_scores)
             if e_new:
-                values, thetas = solve_completion_batch(
-                    scoring, n, state.query, members, new_scores, new_vecs,
-                    unseen_delta, unseen_sigma,
-                )
                 lo = sub.append(new_scores, new_vecs)
-                sub.t[lo : lo + e_new] = values
-                sub.theta[lo : lo + e_new] = thetas
+                rows = np.arange(lo, lo + e_new)
+                if gathered:
+                    pending.append((sub, rows))
+                else:
+                    values, thetas = self._solve_subset_scalar(
+                        scoring, n, state.query, members, new_scores,
+                        new_vecs, unseen_delta, unseen_sigma,
+                    )
+                    sub.t[rows] = values
+                    sub.theta[rows] = thetas
                 if track_dominance:
                     bs, cs = dominance_coefficients_batch(
                         scoring, n, state.query, new_scores, new_vecs,
@@ -344,36 +423,143 @@ class TightBound(BoundingScheme):
             # constraints remains optimal).  One array reduction over the
             # subset's theta columns replaces the per-entry scan.
             grown = [j for j in sub.others if new_counts[j] > 0]
-            if grown and sub.count:
-                cnt = sub.count
+            if grown and pre_count:
                 lows = np.array([deltas[j] for j in grown]) - _EPS
-                stale = ~sub.dominated[:cnt] & (
-                    sub.theta[:cnt][:, grown] < lows
+                stale = ~sub.dominated[:pre_count] & (
+                    sub.theta[:pre_count][:, grown] < lows
                 ).any(axis=1)
                 idx = np.flatnonzero(stale)
                 if idx.size:
-                    values, thetas = solve_completion_batch(
-                        scoring, n, state.query, members,
-                        sub.scores[idx], sub.vecs[idx],
-                        unseen_delta, unseen_sigma,
-                    )
-                    sub.t[idx] = values
-                    sub.theta[idx] = thetas
+                    if gathered:
+                        pending.append((sub, idx))
+                    else:
+                        values, thetas = self._solve_subset_scalar(
+                            scoring, n, state.query, members,
+                            sub.scores[idx], sub.vecs[idx],
+                            unseen_delta, unseen_sigma,
+                        )
+                        sub.t[idx] = values
+                        sub.theta[idx] = thetas
                     self.counters.qp_solves += idx.size
                     self.counters.entries_revalidated += idx.size
-            sub.recompute_max()
+            if not gathered:
+                sub.recompute_max()
+
+        if gathered:
+            self._flush_qp_gather(state, pending, deltas, sigma_max)
+            for sub in subsets:
+                if not sub.dead:
+                    sub.recompute_max()
 
         if track_dominance and self.dominance_period is not None:
             if self._accesses % self.dominance_period == 0:
-                self._dominance_pass(scoring, n, subsets)
+                if gathered:
+                    self._dominance_pass_batched(scoring, n, state, subsets)
+                else:
+                    self._dominance_pass(scoring, n, subsets)
                 for sub in subsets:
                     sub.recompute_max()
 
         return max((sub.t_max for sub in subsets if not sub.dead), default=NEG_INFINITY)
 
+    def _solve_subset_scalar(
+        self,
+        scoring: QuadraticFormScoring,
+        n: int,
+        query: np.ndarray,
+        members: list[int],
+        scores: np.ndarray,
+        vecs: np.ndarray,
+        unseen_delta: dict[int, float],
+        unseen_sigma: dict[int, float],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Scalar-path :func:`solve_completion_batch` with the QP kernel
+        time split out, so ``solver_seconds`` draws the bookkeeping /
+        solver line in the same place for both execution strategies."""
+        proj, residual_sq, score_term = completion_geometry(
+            scoring, query, scores, vecs, unseen_sigma
+        )
+        lower_idx = sorted(unseen_delta)
+        lower_vals = np.array([unseen_delta[j] for j in lower_idx])
+        h = spread_matrix(n, scoring.w_q, scoring.w_mu)
+        started = time.perf_counter()
+        qp_vals, thetas = solve_bound_qp_batch(
+            h, members, proj, lower_idx, lower_vals
+        )
+        self.counters.solver_seconds += time.perf_counter() - started
+        values = score_term - qp_vals - (scoring.w_q + scoring.w_mu) * residual_sq
+        return values, thetas
+
+    def _flush_qp_gather(
+        self,
+        state: EngineState,
+        pending: list[tuple[_SubsetState, np.ndarray]],
+        deltas: list[float],
+        sigma_max: list[float],
+    ) -> None:
+        """Solve every gathered completion problem of one refresh with a
+        single masked batch-QP kernel call and scatter the results back
+        into the subsets' columnar arrays."""
+        if not pending:
+            return
+        scoring = state.scoring
+        assert isinstance(scoring, QuadraticFormScoring)
+        n = state.n
+        query = state.query
+        total = sum(len(rows) for _, rows in pending)
+        ws = self._workspace(state)
+        fixed_mask, fixed_vals, lower_mask, lower_vals = ws.qp_slabs(total, n)
+        score_term = ws.array("qp_score_term", (total,))
+        residual_sq = ws.array("qp_residual_sq", (total,))
+
+        chunks: list[_QPChunk] = []
+        offset = 0
+        for sub, rows in pending:
+            e = len(rows)
+            span = slice(offset, offset + e)
+            proj, res_sq, s_term = completion_geometry(
+                scoring,
+                query,
+                sub.scores[rows],
+                sub.vecs[rows],
+                {j: sigma_max[j] for j in sub.others},
+            )
+            members = list(sub.members)
+            others = list(sub.others)
+            if members:
+                fixed_mask[span, members] = True
+                fixed_vals[span, members] = proj
+            if others:
+                lower_mask[span, others] = True
+                lower_vals[span, others] = [deltas[j] for j in others]
+            score_term[span] = s_term
+            residual_sq[span] = res_sq
+            chunks.append(_QPChunk(sub, rows, span))
+            offset += e
+
+        h = spread_matrix(n, scoring.w_q, scoring.w_mu)
+        started = time.perf_counter()
+        qp_vals, thetas = solve_bound_qp_masked(
+            h, fixed_mask, fixed_vals, lower_mask, lower_vals
+        )
+        self.counters.solver_seconds += time.perf_counter() - started
+        values = score_term - qp_vals - (scoring.w_q + scoring.w_mu) * residual_sq
+        for chunk in chunks:
+            chunk.sub.t[chunk.rows] = values[chunk.span]
+            chunk.sub.theta[chunk.rows] = thetas[chunk.span]
+
     def _dominance_pass(
         self, scoring: QuadraticFormScoring, n: int, subsets: list[_SubsetState]
     ) -> None:
+        """Scalar reference dominance pass: one feasibility LP per
+        uncertified candidate (scipy-accelerated when available).
+
+        Structured as gather (witness pre-pass + constraint assembly,
+        shared with the batched pass) followed by the per-candidate LP
+        loop, so ``solver_seconds`` times exactly the feasibility solves
+        — the same line the batched pass draws around its lockstep call.
+        The flags and witnesses equal :func:`dominated_mask`'s.
+        """
         start = time.perf_counter()
         for sub in subsets:
             if sub.dead or not sub.members:
@@ -385,16 +571,78 @@ class TightBound(BoundingScheme):
             # Shared quadratic coefficient of eq. (24) for this subset.
             quad = scoring.w_q * (n - m) + scoring.w_mu * (m / n) * (n - m)
             before = sub.dominated[:cnt].copy()
-            # dominated_mask updates the witness rows in place, so cached
+            # The pre-pass updates the witness rows in place, so cached
             # non-emptiness certificates persist across passes.
-            after, lp_count = dominated_mask(
+            out, problems = dominance_lp_problems(
                 sub.b[:cnt], sub.c[:cnt], before,
                 quad_coeff=quad, witnesses=sub.witness[:cnt],
             )
-            self.counters.lp_solves += lp_count
-            newly = after & ~sub.dominated[:cnt]
+            lp_started = time.perf_counter()
+            for alpha, g, h in problems:
+                point = polyhedron_feasible_point(g, h)
+                if point is None:
+                    out[alpha] = True
+                else:
+                    sub.witness[alpha] = point
+            self.counters.solver_seconds += time.perf_counter() - lp_started
+            self.counters.lp_solves += len(problems)
+            newly = out & ~sub.dominated[:cnt]
             self.counters.entries_dominated += int(newly.sum())
-            sub.dominated[:cnt] = after
+            sub.dominated[:cnt] = out
+        self.counters.dominance_seconds += time.perf_counter() - start
+
+    def _dominance_pass_batched(
+        self,
+        scoring: QuadraticFormScoring,
+        n: int,
+        state: EngineState,
+        subsets: list[_SubsetState],
+    ) -> None:
+        """Batched dominance pass: shared witness pre-pass per subset,
+        then every subset's surviving feasibility LPs solved through one
+        lockstep kernel call (the kernel groups and stacks the ``G/h``
+        blocks by constraint count)."""
+        start = time.perf_counter()
+        scatter: list[tuple[_SubsetState, int, np.ndarray]] = []
+        problems: list[tuple[_SubsetState, int, np.ndarray, np.ndarray]] = []
+        for sub in subsets:
+            if sub.dead or not sub.members:
+                continue
+            cnt = sub.count
+            if cnt - int(sub.dominated[:cnt].sum()) < 2:
+                continue
+            m = len(sub.members)
+            quad = scoring.w_q * (n - m) + scoring.w_mu * (m / n) * (n - m)
+            before = sub.dominated[:cnt].copy()
+            out, sub_problems = dominance_lp_problems(
+                sub.b[:cnt], sub.c[:cnt], before,
+                quad_coeff=quad, witnesses=sub.witness[:cnt],
+            )
+            scatter.append((sub, cnt, out))
+            for alpha, g, h in sub_problems:
+                problems.append((sub, alpha, g, h))
+
+        if problems:
+            # One ragged lockstep call for every subset's surviving LPs;
+            # the kernel groups by constraint count and stacks the
+            # blocks itself.
+            started = time.perf_counter()
+            points, empty = polyhedron_feasible_point_batch(
+                [g for _, _, g, _ in problems], [h for _, _, _, h in problems]
+            )
+            self.counters.solver_seconds += time.perf_counter() - started
+            self.counters.lp_solves += len(problems)
+            out_of = {id(sub): out for sub, _, out in scatter}
+            for slot, (sub, alpha, _, _) in enumerate(problems):
+                if empty[slot]:
+                    out_of[id(sub)][alpha] = True
+                else:
+                    sub.witness[alpha] = points[slot]
+
+        for sub, cnt, out in scatter:
+            newly = out & ~sub.dominated[:cnt]
+            self.counters.entries_dominated += int(newly.sum())
+            sub.dominated[:cnt] = out
         self.counters.dominance_seconds += time.perf_counter() - start
 
     # -- score access (Algorithm 3) -------------------------------------------

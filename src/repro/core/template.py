@@ -50,6 +50,7 @@ import numpy as np
 from repro.core.access import AccessKind, StreamInterrupted, open_streams
 from repro.core.batchscore import CandidatePruner, QuadraticBatchScorer
 from repro.core.bounds.base import INFINITY, BoundingScheme, EngineState
+from repro.core.bounds.workspace import BoundWorkspace
 from repro.core.buffers import TopKBuffer
 from repro.core.pulling import PullingStrategy
 from repro.core.relation import Combination, RankTuple, Relation
@@ -80,6 +81,10 @@ class RunResult:
     bound_seconds / dominance_seconds:
         Shares of ``total_seconds`` spent in updateBound and in the
         dominance test (the lighter stacked bars of Figure 3).
+    solver_seconds:
+        Wall-clock inside the LP/QP solver kernels proper — a sub-share
+        of ``bound_seconds + dominance_seconds`` that isolates what the
+        batched bound kernel can win back from pure bookkeeping.
     combinations_formed:
         How many candidate combinations were materialised and scored (the
         dominant CPU cost of corner-bound algorithms at high depth).
@@ -103,6 +108,7 @@ class RunResult:
     combinations_formed: int
     counters: dict[str, float] = field(default_factory=dict)
     completed: bool = True
+    solver_seconds: float = 0.0
 
     @property
     def sum_depths(self) -> int:
@@ -241,6 +247,10 @@ class ProxRJ:
             streams = open_streams(
                 self.relations, self.kind, self.query, use_index=self.use_index
             )
+        # One scratch arena per run, shared by the bound stack (gathered
+        # batch-kernel slabs, potentials memo) and the batch scorer's
+        # candidate sieve; see repro.core.bounds.workspace.
+        workspace = BoundWorkspace()
         state = EngineState(
             scoring=self.scoring,
             kind=self.kind,
@@ -248,10 +258,11 @@ class ProxRJ:
             streams=streams,
             k=self.k,
             output=TopKBuffer(self.k),
+            workspace=workspace,
         )
         self.pull.reset()
         batch_scorer = (
-            QuadraticBatchScorer(self.scoring, self.query)
+            QuadraticBatchScorer(self.scoring, self.query, workspace=workspace)
             if self.vectorise and isinstance(self.scoring, QuadraticFormScoring)
             else None
         )
@@ -378,6 +389,7 @@ class ProxRJ:
             combinations_formed=combos_formed,
             counters=counter_dict,
             completed=completed,
+            solver_seconds=counters.solver_seconds,
         )
 
     @staticmethod

@@ -24,7 +24,10 @@ class Measurement:
     ``remote_seconds`` is the *simulated* network latency the run's
     accesses would have paid against remote services (0 for local
     cells) — the latency-weighted cost the paper's sumDepths metric is
-    a proxy for.
+    a proxy for.  ``solver_seconds`` is the wall-clock spent inside the
+    LP/QP kernels proper (a sub-share of ``bound_seconds +
+    dominance_seconds``), so perf PRs can diff engine bookkeeping
+    against solver time straight from ``BENCH_core.json``.
     """
 
     algorithm: str
@@ -36,6 +39,7 @@ class Measurement:
     combinations_formed: int
     completed: bool
     remote_seconds: float = 0.0
+    solver_seconds: float = 0.0
 
 
 @dataclass
@@ -87,6 +91,10 @@ class CellResult:
     def mean_remote_seconds(self, algo: str) -> float:
         runs = self._per_algo(algo)
         return float(np.mean([m.remote_seconds for m in runs])) if runs else float("nan")
+
+    def mean_solver_seconds(self, algo: str) -> float:
+        runs = self._per_algo(algo)
+        return float(np.mean([m.solver_seconds for m in runs])) if runs else float("nan")
 
 
 def run_cell(
@@ -170,6 +178,7 @@ def run_cell(
                     remote_seconds=float(
                         sum(s.endpoint.simulated_seconds for s in opened)
                     ),
+                    solver_seconds=result.solver_seconds,
                 )
             )
     return cell

@@ -1,14 +1,31 @@
 """Numerical optimisation substrate: dense active-set QP and two-phase
 simplex LP, the two solvers the paper's tight bound and dominance test
-rely on ("off-the-shelf solvers" in the paper; built from scratch here)."""
+rely on ("off-the-shelf solvers" in the paper; built from scratch here).
 
-from repro.optim.qp import QPResult, solve_bound_qp, solve_qp, spread_matrix
+Each solver family ships a batched kernel (``*_batch`` /
+:func:`solve_bound_qp_masked`) that stacks many tiny problems into one
+vectorised call — lockstep simplex tableaus for the LPs, active-set
+enumeration with per-entry termination masks for the QPs — with every
+entry bit-identical to a loop over its scalar counterpart (see the
+module docstrings for the row-stability contract)."""
+
+from repro.optim.qp import (
+    QPResult,
+    solve_bound_qp,
+    solve_bound_qp_batch,
+    solve_bound_qp_masked,
+    solve_qp,
+    spread_matrix,
+)
 from repro.optim.simplex import (
     LPResult,
     LPStatus,
     chebyshev_center,
+    chebyshev_center_batch,
     polyhedron_feasible_point,
+    polyhedron_feasible_point_batch,
     polyhedron_is_empty,
+    polyhedron_is_empty_batch,
     simplex_standard_form,
     solve_lp,
 )
@@ -16,13 +33,18 @@ from repro.optim.simplex import (
 __all__ = [
     "QPResult",
     "solve_bound_qp",
+    "solve_bound_qp_batch",
+    "solve_bound_qp_masked",
     "solve_qp",
     "spread_matrix",
     "LPResult",
     "LPStatus",
     "chebyshev_center",
+    "chebyshev_center_batch",
     "polyhedron_feasible_point",
+    "polyhedron_feasible_point_batch",
     "polyhedron_is_empty",
+    "polyhedron_is_empty_batch",
     "simplex_standard_form",
     "solve_lp",
 ]

@@ -12,13 +12,31 @@ with ``H = w_q I + w_mu (I - 11'/n)' (I - 11'/n)`` positive semidefinite
 of joined relations (tiny), so a dense primal active-set method is exact,
 allocation-free in spirit, and dependency-free.
 
-Two entry points are provided:
+Entry points:
 
 * :func:`solve_bound_qp` — the specialised fixed-plus-lower-bound QP used
-  by the bounding scheme (fast path).
+  by the bounding scheme (scalar reference path).
+* :func:`solve_bound_qp_batch` — many entries of *one* fixed/lower
+  pattern (one subset ``M``) in a single vectorised call.
+* :func:`solve_bound_qp_masked` — the batched bound kernel: entries of
+  *arbitrary mixed* fixed/lower patterns (every subset ``M`` of a bound
+  refresh) stacked into one call, resolved by a vectorised active-set
+  enumeration with per-entry termination masks.
 * :func:`solve_qp` — a generic small convex QP with linear inequality
   constraints ``A theta <= b``, used by tests to cross-check and by the
   cosine extension.
+
+Bit-identity contract (the batched bound kernel's acceptance bar): every
+batch entry must be bit-identical to a scalar :func:`solve_bound_qp` call
+on the same data.  BLAS-backed primitives (``np.linalg.solve``, ``@``,
+``einsum``) do **not** satisfy this — their reassociation depends on how
+many rows/right-hand sides share the call — so the scalar and batched
+solvers both route their linear algebra through the same *row-stable*
+helpers (:func:`_gauss_solve`, :func:`_accum_cols`, :func:`_row_matvec`,
+:func:`_quad_values`): only elementwise numpy operations touch the batch
+axes, making each entry's arithmetic independent of its batch-mates.
+(The one exception is a singular free block, ``w_q = 0`` patterns, where
+both fall back to least squares and only the optimal *value* is pinned.)
 """
 
 from __future__ import annotations
@@ -31,11 +49,13 @@ __all__ = [
     "QPResult",
     "solve_bound_qp",
     "solve_bound_qp_batch",
+    "solve_bound_qp_masked",
     "solve_qp",
     "spread_matrix",
 ]
 
 _TOL = 1e-9
+_PIVOT_TOL = 1e-12
 
 
 @dataclass(frozen=True)
@@ -81,6 +101,74 @@ def _solve_psd(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return np.linalg.lstsq(a, b, rcond=None)[0]
 
 
+# -- row-stable linear algebra ---------------------------------------------
+#
+# Shared by the scalar and the batched bound solvers; ``rhs``/``vals`` may
+# carry leading batch dimensions, and only elementwise operations touch
+# them, so per-entry results are independent of the batch size.
+
+
+def _gauss_solve(a: np.ndarray, rhs: np.ndarray) -> np.ndarray | None:
+    """Solve ``a x = rhs`` by Gaussian elimination with partial pivoting.
+
+    ``a`` is a tiny shared ``(k, k)`` system; ``rhs`` is ``(..., k)``.
+    Returns ``None`` when a pivot collapses (singular system); callers
+    fall back to least squares.
+    """
+    k = a.shape[0]
+    x = np.array(rhs, dtype=float, copy=True)
+    if k == 0:
+        return x
+    a = np.array(a, dtype=float, copy=True)
+    for i in range(k):
+        p = i + int(np.argmax(np.abs(a[i:, i])))
+        if abs(float(a[p, i])) <= _PIVOT_TOL:
+            return None
+        if p != i:
+            a[[i, p]] = a[[p, i]]
+            tmp = x[..., i].copy()
+            x[..., i] = x[..., p]
+            x[..., p] = tmp
+        for j in range(i + 1, k):
+            f = float(a[j, i] / a[i, i])
+            if f != 0.0:
+                a[j, i:] -= f * a[i, i:]
+                x[..., j] = x[..., j] - f * x[..., i]
+    for i in range(k - 1, -1, -1):
+        acc = x[..., i]
+        for j in range(i + 1, k):
+            acc = acc - float(a[i, j]) * x[..., j]
+        x[..., i] = acc / float(a[i, i])
+    return x
+
+
+def _accum_cols(mat: np.ndarray, vals: np.ndarray) -> np.ndarray:
+    """``sum_k mat[:, k] * vals[..., k]`` accumulated strictly in ``k``
+    order (the row-stable replacement for ``vals @ mat.T``)."""
+    out = np.zeros(vals.shape[:-1] + (mat.shape[0],))
+    for k in range(mat.shape[1]):
+        out = out + vals[..., k, None] * mat[:, k]
+    return out
+
+
+def _row_matvec(q: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """``out[..., j] = sum_k q[j, k] z[..., k]`` accumulated in ``k``
+    order for symmetric ``q`` (row-stable replacement for ``z @ q.T``)."""
+    out = np.zeros(z.shape[:-1] + (q.shape[0],))
+    for k in range(q.shape[1]):
+        out = out + z[..., k, None] * q[:, k]
+    return out
+
+
+def _quad_values(h: np.ndarray, thetas: np.ndarray) -> np.ndarray:
+    """``theta' H theta`` per entry, accumulated in fixed index order."""
+    ht = _row_matvec(h, thetas)
+    out = np.zeros(thetas.shape[:-1])
+    for j in range(h.shape[0]):
+        out = out + thetas[..., j] * ht[..., j]
+    return out
+
+
 def solve_bound_qp(
     h: np.ndarray,
     fixed: dict[int, float],
@@ -121,6 +209,11 @@ def solve_bound_qp(
     KKT multiplier is negative.  With ``f`` free coordinates the loop
     terminates in at most ``2^f`` iterations; in this library ``f`` is the
     number of relations minus the partial-combination size (<= 4).
+
+    This is the scalar reference of the batched bound kernel: all linear
+    algebra runs through the module's row-stable helpers, so
+    :func:`solve_bound_qp_masked` reproduces it bit for bit (see the
+    module docstring for the contract and its singular-Hessian caveat).
     """
     h = np.asarray(h, dtype=float)
     n = h.shape[0]
@@ -139,7 +232,7 @@ def solve_bound_qp(
         theta[i] = v
 
     def objective(t: np.ndarray) -> float:
-        return float(t @ h @ t + lin @ t + constant)
+        return float(_quad_values(h, t) + float(lin @ t) + constant)
 
     if not free:
         return QPResult(x=theta, value=objective(theta), active=(), iterations=0)
@@ -151,7 +244,9 @@ def solve_bound_qp(
     q = h[np.ix_(free, free)]
     fixed_idx = sorted(fixed)
     if fixed_idx:
-        r = h[np.ix_(free, fixed_idx)] @ np.array([fixed[i] for i in fixed_idx])
+        r = _accum_cols(
+            h[np.ix_(free, fixed_idx)], np.array([fixed[i] for i in fixed_idx])
+        )
     else:
         r = np.zeros(len(free))
     r = r + lin[free] / 2.0
@@ -175,8 +270,11 @@ def solve_bound_qp(
             rhs = -(r[inactive])
             if active:
                 act = sorted(active)
-                rhs = rhs - q[np.ix_(inactive, act)] @ z[act]
-            z_new[inactive] = _solve_psd(qi, rhs)
+                rhs = rhs - _accum_cols(q[np.ix_(inactive, act)], z[act])
+            sol = _gauss_solve(qi, rhs)
+            if sol is None:
+                sol = np.linalg.lstsq(qi, rhs, rcond=None)[0]
+            z_new[inactive] = sol
 
         # Step from z towards z_new, stopping at the first violated bound.
         step = 1.0
@@ -190,16 +288,20 @@ def solve_bound_qp(
                 if alpha < step:
                     step = alpha
                     blocker = k
-        z = z + step * (z_new - z)
         if blocker >= 0:
+            z = z + step * (z_new - z)
             z[blocker] = lb[blocker]
             active.add(blocker)
             continue
+        # Full step: adopt the solve's result exactly (``z + 1.0 * (z_new
+        # - z)`` would round differently and break the batch/scalar
+        # bit-identity contract).
+        z = z_new
 
         # Full step taken: check KKT multipliers of active bounds.
         # Gradient of the free-block objective: 2 Q z + 2 r ; multiplier of
         # z_k >= l_k is grad_k (must be >= 0 at a minimum).
-        grad = 2.0 * (q @ z + r)
+        grad = 2.0 * (_row_matvec(q, z) + r)
         worst = None
         worst_val = -_TOL
         for k in sorted(active):
@@ -218,6 +320,92 @@ def solve_bound_qp(
     )
 
 
+def _solve_pattern(
+    h: np.ndarray,
+    fixed_idx: list[int],
+    fixed_vals: np.ndarray,
+    lower_idx: list[int],
+    lower_vals: np.ndarray,
+    uncon_idx: list[int],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Solve every entry of one fixed/lower *pattern* group.
+
+    All entries pin the coordinates ``fixed_idx`` (values per entry, rows
+    of ``fixed_vals``), lower-bound the coordinates ``lower_idx`` (bounds
+    per entry, rows of ``lower_vals``) and leave ``uncon_idx`` free.
+
+    Strategy: with ``f = len(lower_idx)`` bounded coordinates there are
+    only ``2^f`` candidate active sets.  For each candidate, the
+    stationarity system is solved for *all* unresolved entries at once;
+    the unique optimum of each convex QP is the candidate that is both
+    primal and dual feasible (KKT), tracked by a per-entry resolution
+    mask.  ``f`` equals the number of unseen relations, so ``2^f <= 16``
+    for any join this library targets.  All arithmetic is row-stable
+    (module docstring), so each entry reproduces the scalar
+    :func:`solve_bound_qp` bit for bit.
+    """
+    n = h.shape[0]
+    fixed_idx = sorted(fixed_idx)
+    lower_idx = sorted(lower_idx)
+    num_entries = fixed_vals.shape[0]
+    f = len(lower_idx)
+    free = sorted(set(lower_idx) | set(uncon_idx))
+
+    thetas = np.zeros((num_entries, n))
+    if fixed_idx:
+        thetas[:, fixed_idx] = fixed_vals
+    if not free:
+        return _quad_values(h, thetas), thetas
+
+    q = h[np.ix_(free, free)]
+    if fixed_idx:
+        r = _accum_cols(h[np.ix_(free, fixed_idx)], fixed_vals)  # (E, F)
+    else:
+        r = np.zeros((num_entries, len(free)))
+    pos_of = {g: k for k, g in enumerate(free)}
+    bounded = [pos_of[g] for g in lower_idx]
+
+    # Safe feasible default: the fully clamped point.
+    best_z = np.zeros((num_entries, len(free)))
+    if bounded:
+        best_z[:, bounded] = lower_vals
+    resolved = np.zeros(num_entries, dtype=bool)
+    for mask in range(1 << f):
+        act_cols = [k for k in range(f) if mask >> k & 1]
+        active = [bounded[k] for k in act_cols]
+        solve_pos = [p for p in range(len(free)) if p not in set(active)]
+        act_vals = lower_vals[:, act_cols]
+        z = np.zeros((num_entries, len(free)))
+        if active:
+            z[:, active] = act_vals
+        if solve_pos:
+            qi = q[np.ix_(solve_pos, solve_pos)]
+            rhs = -r[:, solve_pos]
+            if active:
+                rhs = rhs - _accum_cols(q[np.ix_(solve_pos, active)], act_vals)
+            sol = _gauss_solve(qi, rhs)
+            if sol is None:
+                sol = np.linalg.lstsq(qi, rhs.T, rcond=None)[0].T
+            z[:, solve_pos] = sol
+        # Primal feasibility on inactive bounds; dual feasibility on
+        # active ones (KKT).
+        ok = ~resolved
+        inact_cols = [k for k in range(f) if not mask >> k & 1]
+        if inact_cols:
+            inact = [bounded[k] for k in inact_cols]
+            ok &= (z[:, inact] >= lower_vals[:, inact_cols] - _TOL).all(axis=1)
+        if active:
+            grad = 2.0 * (_row_matvec(q, z) + r)
+            ok &= (grad[:, active] >= -_TOL).all(axis=1)
+        if ok.any():
+            best_z[ok] = z[ok]
+            resolved |= ok
+        if resolved.all():
+            break
+    thetas[:, free] = best_z
+    return _quad_values(h, thetas), thetas
+
+
 def solve_bound_qp_batch(
     h: np.ndarray,
     fixed_idx: list[int],
@@ -234,13 +422,8 @@ def solve_bound_qp_batch(
     exactly the structure of the tight bound within one subset ``M``: the
     spread matrix, the member relations and the distance constraints are
     per-subset, the seen-tuple projections are per-partial-combination.
-
-    Strategy: with ``f = len(lower_idx)`` free coordinates there are only
-    ``2^f`` candidate active sets.  For each candidate, the stationarity
-    system is solved for *all* entries with one matrix product; the unique
-    optimum of each convex QP is the candidate that is both primal
-    feasible and dual feasible (KKT).  ``f`` equals the number of unseen
-    relations, so ``2^f <= 16`` for any join this library targets.
+    For mixed patterns (entries of *different* subsets) see
+    :func:`solve_bound_qp_masked`.
 
     Returns
     -------
@@ -260,52 +443,96 @@ def solve_bound_qp_batch(
         raise ValueError("fixed_idx and lower_idx must partition range(n)")
     if fixed_vals.shape[1] != len(fixed_idx):
         raise ValueError("fixed_vals width must match fixed_idx")
+    return _solve_pattern(
+        h,
+        list(fixed_idx),
+        fixed_vals,
+        list(lower_idx),
+        np.broadcast_to(lower_vals, (num_entries, f)),
+        [],
+    )
 
-    thetas = np.zeros((num_entries, n))
-    if fixed_idx:
-        thetas[:, fixed_idx] = fixed_vals
-    if f == 0:
-        vals = np.einsum("ei,ij,ej->e", thetas, h, thetas)
-        return vals, thetas
 
-    q = h[np.ix_(lower_idx, lower_idx)]  # (f, f)
-    if fixed_idx:
-        # r[e] = H[lower, fixed] @ fixed_vals[e]
-        r = fixed_vals @ h[np.ix_(lower_idx, fixed_idx)].T  # (E, f)
-    else:
-        r = np.zeros((num_entries, f))
+def solve_bound_qp_masked(
+    h: np.ndarray,
+    fixed_mask: np.ndarray,
+    fixed_vals: np.ndarray,
+    lower_mask: np.ndarray,
+    lower_vals: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The batched bound kernel: stacked bound QPs of *mixed* patterns.
 
-    best_z = np.tile(lower_vals, (num_entries, 1))  # safe feasible default
-    resolved = np.zeros(num_entries, dtype=bool)
-    for mask in range(1 << f):
-        active = [k for k in range(f) if mask >> k & 1]
-        inactive = [k for k in range(f) if not mask >> k & 1]
-        z = np.tile(lower_vals, (num_entries, 1))
-        if inactive:
-            qi = q[np.ix_(inactive, inactive)]
-            rhs = -r[:, inactive]
-            if active:
-                rhs = rhs - (q[np.ix_(inactive, active)] @ lower_vals[active])[None, :]
-            try:
-                sol = np.linalg.solve(qi, rhs.T).T
-            except np.linalg.LinAlgError:
-                sol = np.linalg.lstsq(qi, rhs.T, rcond=None)[0].T
-            z[:, inactive] = sol
-        # Primal feasibility on inactive coords; dual feasibility on active.
-        ok = ~resolved
-        if inactive:
-            ok &= (z[:, inactive] >= lower_vals[inactive] - 1e-9).all(axis=1)
-        if active:
-            grad = 2.0 * (z @ q.T + r)
-            ok &= (grad[:, active] >= -1e-9).all(axis=1)
-        if ok.any():
-            best_z[ok] = z[ok]
-            resolved |= ok
-        if resolved.all():
-            break
-    thetas[:, lower_idx] = best_z
-    vals = np.einsum("ei,ij,ej->e", thetas, h, thetas)
-    return vals, thetas
+    One call solves ``B`` instances of the :func:`solve_bound_qp` problem
+    family, each with its own equality/lower-bound pattern — the shape of
+    a whole tight-bound refresh, where every subset ``M`` contributes its
+    stale partial combinations with ``M``'s fixed pattern and the unseen
+    relations' distance bounds.
+
+    Parameters
+    ----------
+    h:
+        Shared Hessian ``(n, n)`` (the spread matrix depends only on the
+        number of relations, never on ``M``).
+    fixed_mask / fixed_vals:
+        ``(B, n)`` boolean pattern and values; ``fixed_vals`` is read
+        only where ``fixed_mask`` is set.
+    lower_mask / lower_vals:
+        ``(B, n)`` boolean pattern and per-entry lower bounds, read only
+        where ``lower_mask`` is set.  Coordinates in neither mask are
+        unconstrained.
+
+    Returns
+    -------
+    (values, thetas):
+        ``values[b] = theta_b' H theta_b`` and the optima ``(B, n)``.
+
+    Notes
+    -----
+    Entries are grouped by their ``(fixed, lower)`` bit pattern and each
+    group runs the vectorised active-set enumeration of
+    :func:`_solve_pattern`; the row-stable arithmetic contract (module
+    docstring) makes every entry bit-identical to its scalar
+    :func:`solve_bound_qp` counterpart regardless of how entries are
+    grouped or ordered.
+    """
+    h = np.asarray(h, dtype=float)
+    n = h.shape[0]
+    fixed_mask = np.atleast_2d(np.asarray(fixed_mask, dtype=bool))
+    lower_mask = np.atleast_2d(np.asarray(lower_mask, dtype=bool))
+    fixed_vals = np.atleast_2d(np.asarray(fixed_vals, dtype=float))
+    lower_vals = np.atleast_2d(np.asarray(lower_vals, dtype=float))
+    num_entries = fixed_mask.shape[0]
+    for name, arr in (
+        ("fixed_mask", fixed_mask),
+        ("fixed_vals", fixed_vals),
+        ("lower_mask", lower_mask),
+        ("lower_vals", lower_vals),
+    ):
+        if arr.shape != (num_entries, n):
+            raise ValueError(f"{name} must have shape (B, n)={num_entries, n}")
+    if (fixed_mask & lower_mask).any():
+        raise ValueError("fixed and lower masks must be disjoint")
+
+    values = np.empty(num_entries)
+    thetas = np.empty((num_entries, n))
+    weights = 1 << np.arange(n, dtype=np.int64)
+    keys = (fixed_mask @ weights) << n | (lower_mask @ weights)
+    for key in np.unique(keys):
+        rows = np.flatnonzero(keys == key)
+        fidx = np.flatnonzero(fixed_mask[rows[0]])
+        lidx = np.flatnonzero(lower_mask[rows[0]])
+        uidx = np.flatnonzero(~fixed_mask[rows[0]] & ~lower_mask[rows[0]])
+        vals, th = _solve_pattern(
+            h,
+            [int(i) for i in fidx],
+            fixed_vals[np.ix_(rows, fidx)],
+            [int(i) for i in lidx],
+            lower_vals[np.ix_(rows, lidx)],
+            [int(i) for i in uidx],
+        )
+        values[rows] = vals
+        thetas[rows] = th
+    return values, thetas
 
 
 def solve_qp(

@@ -16,9 +16,22 @@ polyhedron is empty — exactly the signal dominance needs, and a strictly
 negative optimum also certifies emptiness robustly under floating point.
 
 The general solver is a textbook two-phase primal simplex on the standard
-form ``min c' x  s.t.  A x = b, x >= 0`` with Bland's rule to prevent
-cycling.  Problem sizes here are tiny (d <= 16 variables, a few hundred
+form ``min c' x  s.t.  A x = b, x >= 0`` with Bland-style anti-cycling.
+Problem sizes here are tiny (d <= 16 variables, a few hundred
 constraints), so dense numpy tableaus are the right tool.
+
+Batched kernels (the bound-kernel refactor): a dominance pass produces
+*many* of these tiny LPs at once — one feasibility test per candidate
+that failed the witness pre-pass.  :func:`chebyshev_center_batch`,
+:func:`polyhedron_feasible_point_batch` and
+:func:`polyhedron_is_empty_batch` stack ``B`` problems into one 3-D
+tableau and pivot them in lockstep (per-problem entering/leaving
+selection and termination masks, shared elementwise pivot arithmetic), so
+the per-problem Python overhead of the scalar loop is paid once per
+*pivot wave* instead of once per problem.  Because every tableau update
+is elementwise across the batch axis, each problem's pivot sequence — and
+hence its centre and radius — is bit-identical to a scalar
+:func:`chebyshev_center` call on the same data.
 """
 
 from __future__ import annotations
@@ -34,12 +47,16 @@ __all__ = [
     "simplex_standard_form",
     "solve_lp",
     "chebyshev_center",
+    "chebyshev_center_batch",
     "polyhedron_feasible_point",
+    "polyhedron_feasible_point_batch",
     "polyhedron_is_empty",
+    "polyhedron_is_empty_batch",
 ]
 
 _TOL = 1e-9
 _R_CAP = 1e3
+_HUGE_BASIS = np.iinfo(np.int64).max
 
 
 class LPStatus(Enum):
@@ -72,31 +89,30 @@ def _run_simplex(
     tableau: np.ndarray, basis: list[int], num_vars: int, max_iter: int
 ) -> LPStatus:
     """Primal simplex iterations on a tableau whose last row is the
-    (negated-cost) objective and last column the RHS.  Bland's rule."""
+    (negated-cost) objective and last column the RHS.
+
+    Entering: first improving column (Bland).  Leaving: smallest basis
+    variable among the rows within ``_TOL`` of the minimum ratio —
+    Bland-style anti-cycling with a tolerance band, stated as a pure
+    reduction so the lockstep batch kernel replays the exact same
+    selection per problem.
+    """
     for _ in range(max_iter):
         cost = tableau[-1, :num_vars]
-        entering = -1
-        for j in range(num_vars):
-            if cost[j] < -_TOL:
-                entering = j
-                break
-        if entering < 0:
+        neg = cost < -_TOL
+        if not neg.any():
             return LPStatus.OPTIMAL
+        entering = int(neg.argmax())
         col = tableau[:-1, entering]
         rhs = tableau[:-1, -1]
-        best_ratio = np.inf
-        leaving = -1
-        for r in range(len(col)):
-            if col[r] > _TOL:
-                ratio = rhs[r] / col[r]
-                if ratio < best_ratio - _TOL or (
-                    abs(ratio - best_ratio) <= _TOL
-                    and (leaving < 0 or basis[r] < basis[leaving])
-                ):
-                    best_ratio = ratio
-                    leaving = r
-        if leaving < 0:
+        pos = col > _TOL
+        if not pos.any():
             return LPStatus.UNBOUNDED
+        ratios = np.where(pos, rhs / np.where(pos, col, 1.0), np.inf)
+        best = float(ratios.min())
+        eligible = ratios <= best + _TOL
+        cand = np.where(eligible, np.asarray(basis, dtype=np.int64), _HUGE_BASIS)
+        leaving = int(cand.argmin())
         _pivot(tableau, basis, leaving, entering)
     raise RuntimeError(f"simplex failed to converge in {max_iter} iterations")
 
@@ -205,6 +221,14 @@ def solve_lp(
     return LPResult(status=LPStatus.OPTIMAL, x=x, value=float(c @ x))
 
 
+def _cheby_tableau_meta(m: int, d: int) -> tuple[int, int, int]:
+    """Column layout of the specialised Chebyshev tableau:
+    ``y+ (d) | y- (d) | r+ | r- | slacks (m+1) | rhs``.
+    Returns ``(rows, num_vars, r_plus_col)``."""
+    rows = m + 1
+    return rows, 2 * d + 2 + rows, 2 * d
+
+
 def chebyshev_center(
     g: np.ndarray, h: np.ndarray, *, r_cap: float = _R_CAP
 ) -> tuple[np.ndarray | None, float]:
@@ -215,6 +239,15 @@ def chebyshev_center(
     To make emptiness detection work, the ball constraint is *relaxed*:
     we solve ``max r  s.t.  g_i' y + ||g_i|| r <= h_i`` with ``r`` free,
     so an infeasible system yields the (negative) least-violation radius.
+
+    The LP is solved by a *warm-started* simplex specialised to this
+    family: every ``r`` coefficient is positive, so pivoting ``r`` into
+    the row with the minimum ``h_i / ||g_i||`` ratio yields a basic
+    feasible solution directly — no phase-1 artificial variables, which
+    halves the tableau and skips the ``~m`` pivots the generic two-phase
+    path spends proving feasibility.  The batched kernel
+    (:func:`chebyshev_center_batch`) replays the identical construction
+    in lockstep.
     """
     g = np.atleast_2d(np.asarray(g, dtype=float))
     h = np.asarray(h, dtype=float)
@@ -231,19 +264,248 @@ def chebyshev_center(
         m = len(h)
         if m == 0:
             return np.zeros(d), r_cap
-    # Variables: (y, r); maximise r == minimise -r, plus the cap r <= r_cap.
-    a_ub = np.vstack([np.hstack([g, norms[:, None]]), np.zeros((1, d + 1))])
-    a_ub[-1, -1] = 1.0
-    b_ub = np.concatenate([h, [r_cap]])
-    c = np.zeros(d + 1)
-    c[-1] = -1.0
-    res = solve_lp(c, a_ub, b_ub)
-    if res.status is not LPStatus.OPTIMAL:
-        # max r is always feasible thanks to the relaxation (take y = 0 and
-        # r very negative), so only numerical trouble lands here.
+    # Row equilibration (does not move the ratios h_i / ||g_i||).
+    scale = np.abs(np.hstack([g, norms[:, None]])).max(axis=1)
+    g = g / scale[:, None]
+    n_r = norms / scale
+    h = h / scale
+
+    rows, num_vars, r_col = _cheby_tableau_meta(m, d)
+    tab = np.zeros((rows + 1, num_vars + 1))
+    tab[:m, :d] = g
+    tab[:m, d : 2 * d] = -g
+    tab[:m, r_col] = n_r
+    tab[:m, r_col + 1] = -n_r
+    tab[m, r_col] = 1.0
+    tab[m, r_col + 1] = -1.0
+    tab[:rows, r_col + 2 : r_col + 2 + rows] = np.eye(rows)
+    tab[:m, -1] = h
+    tab[m, -1] = r_cap
+    # Objective: minimise -(r+ - r-).
+    tab[-1, r_col] = -1.0
+    tab[-1, r_col + 1] = 1.0
+    basis = list(range(r_col + 2, r_col + 2 + rows))
+    # Warm start: drive r into the tightest row (min ratio keeps every
+    # slack non-negative); a negative ratio enters through r- instead.
+    ratios = tab[:rows, -1] / np.concatenate([n_r, [1.0]])
+    i_star = int(np.argmin(ratios))
+    _pivot(tab, basis, i_star, r_col if ratios[i_star] >= 0.0 else r_col + 1)
+    status = _run_simplex(tab, basis, num_vars, 10_000)
+    if status is not LPStatus.OPTIMAL:
+        # The objective is bounded by the cap row, so only numerical
+        # trouble lands here.
         return None, -np.inf
-    assert res.x is not None
-    return res.x[:d], float(res.x[-1])
+    x = np.zeros(num_vars)
+    for r_i, j in enumerate(basis):
+        x[j] = tab[r_i, -1]
+    return x[:d] - x[d : 2 * d], float(x[r_col] - x[r_col + 1])
+
+
+# -- lockstep batch kernel --------------------------------------------------
+#
+# ``B`` stacked tableaus pivoted together: selection (entering column,
+# ratio test, leaving row) is evaluated per problem, the Gauss-Jordan
+# update runs as one elementwise array operation over the stack, and a
+# per-problem status vector retires finished problems from the wave.
+# Every arithmetic step per problem mirrors the scalar path above exactly.
+
+_RUNNING, _OPT, _UNB = 0, 1, 2
+
+
+def _pivot_batch(
+    tab: np.ndarray, basis: np.ndarray, idx: np.ndarray,
+    rows: np.ndarray, cols: np.ndarray,
+) -> None:
+    """Lockstep Gauss-Jordan pivot of problems ``idx`` on per-problem
+    ``(rows, cols)``."""
+    k = np.arange(len(idx))
+    sub = tab[idx]
+    piv = sub[k, rows, cols]
+    pivrow = sub[k, rows, :] / piv[:, None]
+    colv = sub[k, :, cols]
+    sub = sub - colv[:, :, None] * pivrow[:, None, :]
+    sub[k, rows, :] = pivrow
+    tab[idx] = sub
+    basis[idx, rows] = cols
+
+
+def _run_simplex_batch(
+    tab: np.ndarray, basis: np.ndarray, num_vars: int, max_iter: int
+) -> np.ndarray:
+    """Lockstep :func:`_run_simplex` over stacked tableaus.
+
+    Returns the per-problem status vector (``_OPT`` / ``_UNB``)."""
+    num_problems = tab.shape[0]
+    status = np.full(num_problems, _RUNNING, dtype=np.int8)
+    for _ in range(max_iter):
+        run = np.flatnonzero(status == _RUNNING)
+        if run.size == 0:
+            return status
+        cost = tab[run, -1, :num_vars]
+        neg = cost < -_TOL
+        improving = neg.any(axis=1)
+        status[run[~improving]] = _OPT
+        run = run[improving]
+        if run.size == 0:
+            continue
+        entering = neg[improving].argmax(axis=1)
+        body = tab[run, :-1, :]
+        col = np.take_along_axis(body, entering[:, None, None], axis=2)[:, :, 0]
+        rhs = body[:, :, -1]
+        pos = col > _TOL
+        bounded = pos.any(axis=1)
+        status[run[~bounded]] = _UNB
+        run = run[bounded]
+        if run.size == 0:
+            continue
+        col = col[bounded]
+        rhs = rhs[bounded]
+        pos = pos[bounded]
+        entering = entering[bounded]
+        ratios = np.where(pos, rhs / np.where(pos, col, 1.0), np.inf)
+        best = ratios.min(axis=1)
+        eligible = ratios <= best[:, None] + _TOL
+        cand = np.where(eligible, basis[run], _HUGE_BASIS)
+        leaving = cand.argmin(axis=1)
+        _pivot_batch(tab, basis, run, leaving, entering)
+    if (status == _RUNNING).any():
+        raise RuntimeError(f"simplex failed to converge in {max_iter} iterations")
+    return status
+
+
+def _cheby_solve_batch(
+    g: np.ndarray,
+    h: np.ndarray,
+    norms: np.ndarray,
+    r_cap: float,
+    max_iter: int = 10_000,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lockstep warm-started Chebyshev simplex on ``B`` stacked problems
+    of a common constraint count.  ``g`` is ``(B, m, d)``, ``h`` and
+    ``norms`` are ``(B, m)`` with every norm positive (zero rows removed
+    by the caller).  Returns ``(centers, radii)`` with NaN / ``-inf`` for
+    problems the scalar path would answer ``(None, -inf)``.
+
+    Construction, warm-start pivot and simplex iterations mirror
+    :func:`chebyshev_center` operation for operation across the batch
+    axis (elementwise pivots, per-problem selection), so every problem is
+    bit-identical to its scalar solve.
+    """
+    num_problems, m, d = g.shape
+    scale = np.abs(np.concatenate([g, norms[:, :, None]], axis=2)).max(axis=2)
+    g = g / scale[:, :, None]
+    n_r = norms / scale
+    h = h / scale
+
+    rows, num_vars, r_col = _cheby_tableau_meta(m, d)
+    tab = np.zeros((num_problems, rows + 1, num_vars + 1))
+    tab[:, :m, :d] = g
+    tab[:, :m, d : 2 * d] = -g
+    tab[:, :m, r_col] = n_r
+    tab[:, :m, r_col + 1] = -n_r
+    tab[:, m, r_col] = 1.0
+    tab[:, m, r_col + 1] = -1.0
+    tab[:, :rows, r_col + 2 : r_col + 2 + rows] = np.eye(rows)
+    tab[:, :m, -1] = h
+    tab[:, m, -1] = r_cap
+    tab[:, -1, r_col] = -1.0
+    tab[:, -1, r_col + 1] = 1.0
+    basis = np.tile(
+        np.arange(r_col + 2, r_col + 2 + rows, dtype=np.int64),
+        (num_problems, 1),
+    )
+    denom = np.concatenate([n_r, np.ones((num_problems, 1))], axis=1)
+    ratios = tab[:, :rows, -1] / denom
+    i_star = ratios.argmin(axis=1)
+    start_col = np.where(
+        np.take_along_axis(ratios, i_star[:, None], axis=1)[:, 0] >= 0.0,
+        r_col,
+        r_col + 1,
+    )
+    _pivot_batch(
+        tab, basis, np.arange(num_problems), i_star, start_col.astype(np.int64)
+    )
+    statuses = _run_simplex_batch(tab, basis, num_vars, max_iter)
+
+    x = np.zeros((num_problems, num_vars))
+    rows_all = np.arange(num_problems)
+    for r_i in range(rows):
+        x[rows_all, basis[:, r_i]] = tab[:, r_i, -1]
+    centers = x[:, :d] - x[:, d : 2 * d]
+    radii = x[:, r_col] - x[:, r_col + 1]
+    failed = statuses != _OPT
+    centers[failed] = np.nan
+    radii[failed] = -np.inf
+    return centers, radii
+
+
+def chebyshev_center_batch(
+    gs, hs, *, r_cap: float = _R_CAP
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lockstep :func:`chebyshev_center` over ``B`` polyhedra.
+
+    Parameters
+    ----------
+    gs / hs:
+        Either stacked arrays (``(B, m, d)`` and ``(B, m)``) or ragged
+        sequences of per-problem ``(m_i, d)`` / ``(m_i,)`` arrays (the
+        shape a dominance pass produces: constraint counts differ across
+        subsets).  Problems are grouped by effective constraint count and
+        each group is pivoted in lockstep.
+
+    Returns
+    -------
+    (centers, radii):
+        ``(B, d)`` and ``(B,)``.  A problem the scalar path would answer
+        with ``(None, -inf)`` (zero-row infeasibility or numerical
+        failure) gets a NaN centre row and ``-inf`` radius.
+
+    Every problem's answer is bit-identical to a scalar
+    :func:`chebyshev_center` call on the same ``(g, h)`` — the batch is
+    purely an execution strategy (see the module docstring).
+    """
+    problems = [
+        (np.atleast_2d(np.asarray(g, dtype=float)), np.asarray(h, dtype=float))
+        for g, h in zip(gs, hs)
+    ]
+    num_problems = len(problems)
+    if num_problems == 0:
+        return np.zeros((0, 0)), np.zeros(0)
+    d = problems[0][0].shape[1]
+    centers = np.full((num_problems, d), np.nan)
+    radii = np.full(num_problems, -np.inf)
+
+    groups: dict[int, list[tuple[int, np.ndarray, np.ndarray, np.ndarray]]] = {}
+    for i, (g, h) in enumerate(problems):
+        if g.shape[1] != d:
+            raise ValueError("all problems must share the dimensionality d")
+        norms = np.linalg.norm(g, axis=1)
+        zero_rows = norms <= _TOL
+        if zero_rows.any():
+            if (h[zero_rows] < -_TOL).any():
+                continue  # (None, -inf): certainly empty
+            g, h, norms = g[~zero_rows], h[~zero_rows], norms[~zero_rows]
+        if len(h) == 0:
+            centers[i] = 0.0
+            radii[i] = r_cap
+            continue
+        groups.setdefault(len(h), []).append((i, g, h, norms))
+
+    for m, items in groups.items():
+        idx = np.array([i for i, _, _, _ in items])
+        g_stack = np.empty((len(items), m, d))
+        h_stack = np.empty((len(items), m))
+        n_stack = np.empty((len(items), m))
+        for k, (_, g, h, norms) in enumerate(items):
+            g_stack[k] = g
+            h_stack[k] = h
+            n_stack[k] = norms
+        group_centers, group_radii = _cheby_solve_batch(
+            g_stack, h_stack, n_stack, r_cap
+        )
+        centers[idx] = group_centers
+        radii[idx] = group_radii
+    return centers, radii
 
 
 def _scipy_linprog():
@@ -308,6 +570,36 @@ def polyhedron_feasible_point(
     return center
 
 
+def polyhedron_feasible_point_batch(
+    gs, hs, *, tol: float = 1e-7
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched :func:`polyhedron_feasible_point` over ``B`` polyhedra.
+
+    Accepts stacked ``(B, m, d)`` / ``(B, m)`` arrays or ragged
+    per-problem sequences (see :func:`chebyshev_center_batch`).
+
+    Returns
+    -------
+    (points, empty):
+        ``points`` is ``(B, d)`` — the Chebyshev-centre witness per
+        non-empty polyhedron, NaN rows where empty; ``empty`` is the
+        ``(B,)`` boolean emptiness verdict.
+
+    Always the dense lockstep kernel: per problem, the point and verdict
+    are bit-identical to the scalar dense path (:func:`chebyshev_center`
+    + the radius test).  The scalar :func:`polyhedron_feasible_point` may
+    route through scipy's HiGHS instead, which returns a different (but
+    equally valid) witness; the emptiness *verdicts* agree — both are
+    robust sign tests on the same LP optimum — which is the invariant the
+    dominance pass relies on.
+    """
+    centers, radii = chebyshev_center_batch(gs, hs)
+    empty = (radii < -tol) | np.isnan(centers).any(axis=1)
+    points = centers.copy()
+    points[empty] = np.nan
+    return points, empty
+
+
 def polyhedron_is_empty(g: np.ndarray, h: np.ndarray, *, tol: float = 1e-7) -> bool:
     """True iff ``{y : G y <= h}`` is (robustly) empty.
 
@@ -315,3 +607,9 @@ def polyhedron_is_empty(g: np.ndarray, h: np.ndarray, *, tol: float = 1e-7) -> b
     solver-selection logic.
     """
     return polyhedron_feasible_point(g, h, tol=tol) is None
+
+
+def polyhedron_is_empty_batch(gs, hs, *, tol: float = 1e-7) -> np.ndarray:
+    """Batched :func:`polyhedron_is_empty`: the ``(B,)`` boolean verdicts
+    of :func:`polyhedron_feasible_point_batch`."""
+    return polyhedron_feasible_point_batch(gs, hs, tol=tol)[1]

@@ -1,0 +1,137 @@
+"""Soundness regression for dominance pruning (Section 3.2.2).
+
+Property pinned: **a live partial combination is never flagged
+dominated** — under the scalar LP loop, under capped constraint sets
+(dropping competitors can only enlarge regions) and under the batched
+lockstep kernel.  Liveness ground truth is established constructively: a
+candidate that wins (within tolerance) at any probed point certainly has
+a non-empty dominance region.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds.dominance import (
+    dominance_lp_problems,
+    dominated_mask,
+    dominated_mask_batch,
+)
+
+
+def random_family(rng, count, d):
+    bs = rng.normal(size=(count, d))
+    cs = rng.normal(size=count) * 2.0
+    if count >= 4:
+        bs[1] = bs[0]          # tied directions: ties resolved by c
+        cs[1] = cs[0] + 0.5    # strictly worse everywhere -> dominated
+    return bs, cs
+
+
+def provably_live(bs, cs, quad_coeff, points):
+    """Candidates that win at one of the probed ``points`` (tolerance
+    shrunk so the certificate is strict)."""
+    vals = 2.0 * points @ bs.T + cs[None, :]  # (P, u)
+    best = vals.min(axis=1)
+    return (vals <= best[:, None] + 1e-12).any(axis=0)
+
+
+@pytest.mark.parametrize("seed", range(10))
+@pytest.mark.parametrize(
+    "runner",
+    [
+        pytest.param(lambda **kw: dominated_mask(**kw), id="scalar"),
+        pytest.param(lambda **kw: dominated_mask_batch(**kw), id="batched"),
+        pytest.param(
+            lambda **kw: dominated_mask(max_lp_constraints=3, **kw), id="capped"
+        ),
+        pytest.param(
+            lambda **kw: dominated_mask_batch(max_lp_constraints=3, **kw),
+            id="capped-batched",
+        ),
+    ],
+)
+def test_live_combination_never_flagged(seed, runner):
+    rng = np.random.default_rng(seed)
+    count = int(rng.integers(4, 40))
+    d = int(rng.integers(1, 4))
+    quad = float(rng.uniform(0.2, 4.0))
+    bs, cs = random_family(rng, count, d)
+    witnesses = np.full((count, d), np.nan)
+    out, _ = runner(
+        bs=bs,
+        cs=cs,
+        already_dominated=np.zeros(count, dtype=bool),
+        quad_coeff=quad,
+        witnesses=witnesses,
+    )
+    # Probe a generous point cloud: each candidate's own optimum plus
+    # random field points.  Winners there are live by construction.
+    points = np.vstack([-bs / quad, rng.normal(size=(200, d)) * 3.0])
+    live = provably_live(bs, cs, quad, points)
+    flagged_live = out & live
+    assert not flagged_live.any(), np.flatnonzero(flagged_live)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_batched_mask_matches_scalar(seed):
+    """The batched pass flags exactly the scalar pass's set (the kernels'
+    emptiness verdicts agree), starting from identical inputs."""
+    rng = np.random.default_rng(100 + seed)
+    count = int(rng.integers(5, 30))
+    bs, cs = random_family(rng, count, 2)
+    already = rng.random(count) < 0.2
+    quad = 1.0
+    out_s, _ = dominated_mask(
+        bs, cs, already.copy(), quad_coeff=quad,
+        witnesses=np.full((count, 2), np.nan),
+    )
+    out_b, _ = dominated_mask_batch(
+        bs, cs, already.copy(), quad_coeff=quad,
+        witnesses=np.full((count, 2), np.nan),
+    )
+    assert (out_s == out_b).all()
+
+
+def test_sequential_passes_with_witness_reuse():
+    """Growing competitor fields across passes (the engine's usage):
+    cached witnesses never let a dominated candidate slip through, and
+    live candidates survive every pass, scalar and batched alike."""
+    rng = np.random.default_rng(42)
+    d, quad = 2, 1.5
+    total = 30
+    bs = rng.normal(size=(total, d))
+    cs = rng.normal(size=total)
+    for runner in (dominated_mask, dominated_mask_batch):
+        witnesses = np.full((total, d), np.nan)
+        out = np.zeros(total, dtype=bool)
+        for upto in (10, 20, total):
+            out_prefix, _ = runner(
+                bs[:upto], cs[:upto], out[:upto].copy(),
+                quad_coeff=quad, witnesses=witnesses[:upto],
+            )
+            out[:upto] = out_prefix
+            points = np.vstack([-bs[:upto] / quad, rng.normal(size=(150, d)) * 3.0])
+            live = provably_live(bs[:upto], cs[:upto], quad, points)
+            assert not (out[:upto] & live).any()
+
+
+def test_lp_problems_assembly_matches_scalar_competitors():
+    """dominance_lp_problems assembles exactly the capped strongest-
+    competitor systems the scalar loop solves."""
+    rng = np.random.default_rng(7)
+    count = 12
+    bs, cs = random_family(rng, count, 2)
+    out, problems = dominance_lp_problems(
+        bs, cs, np.zeros(count, dtype=bool), quad_coeff=1.0,
+        max_lp_constraints=5,
+    )
+    assert not out.any()  # assembly alone never flags
+    for alpha, g, h in problems:
+        assert g.shape[0] <= 5 and g.shape == (len(h), 2)
+        # Each row is a valid half-space of alpha against some competitor.
+        for row, rhs in zip(g, h):
+            diffs = 2.0 * (bs[alpha] - bs)
+            match = np.isclose(diffs, row[None, :]).all(axis=1)
+            match &= np.isclose(cs - cs[alpha], rhs)
+            match[alpha] = False
+            assert match.any()

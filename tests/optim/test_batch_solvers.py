@@ -1,0 +1,249 @@
+"""Differential suite for the batched bound-solver kernels.
+
+Pins the acceptance bar of the bound-kernel refactor: every batch API is
+bit-identical, entry for entry, to a loop over its scalar counterpart —
+:func:`repro.optim.solve_bound_qp` for the QPs and
+:func:`repro.optim.chebyshev_center` (the dense scalar path) for the
+feasibility LPs.  Degenerate, infeasible and tie cases included; the
+singular-Hessian family (``w_q = 0``) pins optimal *values* only, per the
+documented contract (both sides fall back to least squares there).
+"""
+
+import numpy as np
+import pytest
+
+import repro.optim.simplex as simplex_mod
+from repro.optim import (
+    chebyshev_center,
+    chebyshev_center_batch,
+    polyhedron_feasible_point,
+    polyhedron_feasible_point_batch,
+    polyhedron_is_empty,
+    polyhedron_is_empty_batch,
+    solve_bound_qp,
+    solve_bound_qp_batch,
+    solve_bound_qp_masked,
+    spread_matrix,
+)
+
+
+def random_patterns(rng, n, num_entries):
+    """Random mixed fixed/lower/free patterns plus value arrays."""
+    fm = np.zeros((num_entries, n), dtype=bool)
+    lm = np.zeros((num_entries, n), dtype=bool)
+    fv = np.zeros((num_entries, n))
+    lv = np.zeros((num_entries, n))
+    for b in range(num_entries):
+        kinds = rng.integers(0, 3, size=n)  # 0 fixed, 1 lower, 2 free
+        fm[b] = kinds == 0
+        lm[b] = kinds == 1
+        fv[b, fm[b]] = rng.normal(size=int(fm[b].sum()))
+        lv[b, lm[b]] = np.abs(rng.normal(size=int(lm[b].sum())))
+    return fm, fv, lm, lv
+
+
+def scalar_qp_loop(h, fm, fv, lm, lv):
+    xs, vals = [], []
+    for b in range(len(fm)):
+        fixed = {int(i): float(fv[b, i]) for i in np.flatnonzero(fm[b])}
+        lower = {int(i): float(lv[b, i]) for i in np.flatnonzero(lm[b])}
+        res = solve_bound_qp(h, fixed=fixed, lower=lower)
+        xs.append(res.x)
+        vals.append(res.value)
+    return np.array(vals), np.array(xs)
+
+
+class TestMaskedQPKernel:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bit_identical_to_scalar_loop(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        h = spread_matrix(n, float(rng.uniform(0.1, 5)), float(rng.uniform(0.1, 5)))
+        fm, fv, lm, lv = random_patterns(rng, n, int(rng.integers(1, 40)))
+        vals, thetas = solve_bound_qp_masked(h, fm, fv, lm, lv)
+        ref_vals, ref_xs = scalar_qp_loop(h, fm, fv, lm, lv)
+        # Bitwise: == on floats, no tolerance.
+        assert (vals == ref_vals).all()
+        assert (thetas == ref_xs).all()
+
+    def test_tie_degenerate_entries(self):
+        # Entries engineered so bounds are weakly active (grad exactly at
+        # the boundary) and several entries are exact duplicates.
+        h = spread_matrix(3, 1.0, 1.0)
+        fm = np.array([[True, False, False]] * 4)
+        fv = np.zeros((4, 3))
+        lm = np.array([[False, True, True]] * 4)
+        lv = np.zeros((4, 3))
+        lv[2:, 1:] = 1.0  # clamped away from the unconstrained optimum
+        vals, thetas = solve_bound_qp_masked(h, fm, fv, lm, lv)
+        ref_vals, ref_xs = scalar_qp_loop(h, fm, fv, lm, lv)
+        assert (vals == ref_vals).all()
+        assert (thetas == ref_xs).all()
+        # Duplicates resolve identically.
+        assert (thetas[0] == thetas[1]).all()
+        assert (thetas[2] == thetas[3]).all()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_singular_hessian_values_match(self, seed):
+        # w_q = 0 leaves a flat direction; both sides least-squares, so
+        # the contract pins the optimal value (unique) only.
+        rng = np.random.default_rng(seed)
+        n = 3
+        h = spread_matrix(n, 0.0, float(rng.uniform(0.5, 3)))
+        fm, fv, lm, lv = random_patterns(rng, n, 12)
+        vals, _ = solve_bound_qp_masked(h, fm, fv, lm, lv)
+        ref_vals, _ = scalar_qp_loop(h, fm, fv, lm, lv)
+        np.testing.assert_allclose(vals, ref_vals, atol=1e-8)
+
+    def test_grouping_order_is_immaterial(self):
+        # The same entries shuffled across the batch give the same
+        # per-entry answers (row stability of the kernel arithmetic).
+        rng = np.random.default_rng(11)
+        h = spread_matrix(4, 1.0, 2.0)
+        fm, fv, lm, lv = random_patterns(rng, 4, 25)
+        vals, thetas = solve_bound_qp_masked(h, fm, fv, lm, lv)
+        perm = rng.permutation(25)
+        vals_p, thetas_p = solve_bound_qp_masked(
+            h, fm[perm], fv[perm], lm[perm], lv[perm]
+        )
+        assert (vals_p == vals[perm]).all()
+        assert (thetas_p == thetas[perm]).all()
+
+    def test_mask_overlap_rejected(self):
+        h = spread_matrix(2, 1.0, 1.0)
+        both = np.array([[True, False]])
+        with pytest.raises(ValueError, match="disjoint"):
+            solve_bound_qp_masked(h, both, np.zeros((1, 2)), both, np.zeros((1, 2)))
+
+    def test_shape_mismatch_rejected(self):
+        h = spread_matrix(2, 1.0, 1.0)
+        with pytest.raises(ValueError, match="shape"):
+            solve_bound_qp_masked(
+                h,
+                np.zeros((1, 2), dtype=bool),
+                np.zeros((1, 3)),
+                np.zeros((1, 2), dtype=bool),
+                np.zeros((1, 2)),
+            )
+
+
+class TestSubsetQPBatch:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bit_identical_to_scalar_loop(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        m = int(rng.integers(0, n))
+        h = spread_matrix(n, float(rng.uniform(0.1, 5)), float(rng.uniform(0.1, 5)))
+        fixed_idx = sorted(rng.choice(n, size=m, replace=False).tolist())
+        lower_idx = sorted(set(range(n)) - set(fixed_idx))
+        num_entries = int(rng.integers(1, 30))
+        fvals = rng.normal(size=(num_entries, m))
+        lvals = np.abs(rng.normal(size=len(lower_idx)))
+        vals, thetas = solve_bound_qp_batch(h, fixed_idx, fvals, lower_idx, lvals)
+        for e in range(num_entries):
+            res = solve_bound_qp(
+                h,
+                fixed={i: float(fvals[e, k]) for k, i in enumerate(fixed_idx)},
+                lower={j: float(lvals[k]) for k, j in enumerate(lower_idx)},
+            )
+            assert (res.x == thetas[e]).all()
+            assert res.value == vals[e]
+
+
+def random_polyhedra(rng, count, d):
+    """Mixed feasible / infeasible / degenerate (zero-row, tied) systems."""
+    gs, hs = [], []
+    for trial in range(count):
+        m = int(rng.integers(1, 40))
+        g = rng.normal(size=(m, d))
+        if trial % 5 == 0:
+            g[int(rng.integers(0, m))] = 0.0  # zero row
+        if trial % 6 == 0 and m >= 2:
+            g[1] = g[0]  # tied half-space directions
+        y0 = rng.normal(size=d)
+        slack = rng.normal(size=m) * (0.5 if trial % 3 else -0.2)
+        gs.append(g)
+        hs.append(g @ y0 + slack)
+    return gs, hs
+
+
+class TestBatchLPKernel:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_chebyshev_bit_identical_to_scalar_loop(self, seed):
+        rng = np.random.default_rng(seed)
+        d = int(rng.integers(1, 4))
+        gs, hs = random_polyhedra(rng, 60, d)
+        centers, radii = chebyshev_center_batch(gs, hs)
+        for i, (g, h) in enumerate(zip(gs, hs)):
+            c_ref, r_ref = chebyshev_center(g, h)
+            assert r_ref == radii[i]
+            if c_ref is None:
+                assert np.isnan(centers[i]).all()
+            else:
+                assert (c_ref == centers[i]).all()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_feasible_point_matches_dense_scalar(self, seed, monkeypatch):
+        # Force the scalar path onto the dense simplex (scipy disabled):
+        # the batch kernel must reproduce it bit for bit, witness included.
+        monkeypatch.setattr(simplex_mod, "_SCIPY_LINPROG", None)
+        rng = np.random.default_rng(100 + seed)
+        gs, hs = random_polyhedra(rng, 50, 2)
+        points, empty = polyhedron_feasible_point_batch(gs, hs)
+        for i, (g, h) in enumerate(zip(gs, hs)):
+            ref = polyhedron_feasible_point(g, h)
+            if ref is None:
+                assert empty[i]
+                assert np.isnan(points[i]).all()
+            else:
+                assert not empty[i]
+                assert (ref == points[i]).all()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_emptiness_decisions_match_scalar(self, seed):
+        # Against the default scalar path (scipy-accelerated when
+        # available): the *verdicts* must agree — the invariant the
+        # dominance pass relies on.
+        rng = np.random.default_rng(200 + seed)
+        gs, hs = random_polyhedra(rng, 60, 2)
+        empty = polyhedron_is_empty_batch(gs, hs)
+        for i, (g, h) in enumerate(zip(gs, hs)):
+            assert polyhedron_is_empty(g, h) == bool(empty[i])
+
+    def test_witnesses_are_feasible(self):
+        rng = np.random.default_rng(3)
+        gs, hs = random_polyhedra(rng, 40, 3)
+        points, empty = polyhedron_feasible_point_batch(gs, hs)
+        for i, (g, h) in enumerate(zip(gs, hs)):
+            if not empty[i]:
+                assert (g @ points[i] <= h + 1e-6).all()
+
+    def test_all_zero_rows(self):
+        # Pure "0 <= h" systems: feasible iff every h >= 0.
+        gs = [np.zeros((2, 2)), np.zeros((2, 2))]
+        hs = [np.array([1.0, 2.0]), np.array([1.0, -1.0])]
+        points, empty = polyhedron_feasible_point_batch(gs, hs)
+        assert not empty[0] and (points[0] == 0.0).all()
+        assert empty[1]
+
+    def test_thin_region_kept(self):
+        # A single point (x <= 0, x >= 0) is not robustly empty; the
+        # batched test must keep it, like the scalar one.
+        gs = [np.array([[1.0], [-1.0]])]
+        hs = [np.array([0.0, 0.0])]
+        assert not polyhedron_is_empty_batch(gs, hs)[0]
+
+    def test_stacked_array_input(self):
+        rng = np.random.default_rng(9)
+        g = rng.normal(size=(7, 12, 2))
+        y0 = rng.normal(size=(7, 1, 2))
+        h = np.einsum("bmd,bnd->bm", g, y0) + 0.3
+        points, empty = polyhedron_feasible_point_batch(g, h)
+        assert not empty.any()
+        for b in range(7):
+            c_ref, r_ref = chebyshev_center(g[b], h[b])
+            assert (points[b] == c_ref).all()
+
+    def test_empty_batch(self):
+        centers, radii = chebyshev_center_batch([], [])
+        assert centers.shape[0] == 0 and radii.shape == (0,)

@@ -88,3 +88,10 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "certified" in out
         assert "tight bound" in out and "corner bound" in out
+
+    def test_bound_kernel(self, capsys):
+        run_example("bound_kernel.py")
+        out = capsys.readouterr().out
+        assert "batched kernel" in out
+        assert "identical top-10, depths and bound" in out
+        assert "potentials memo" in out
