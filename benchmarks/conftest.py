@@ -86,6 +86,10 @@ def pytest_sessionfinish(session, exitstatus):
     fresh = {r["name"]: r for r in _BENCH_RECORDS}
     merged = [fresh.pop(r["name"], r) for r in records]
     merged.extend(fresh.values())
+    # Stable on-disk form: records sorted by name, keys sorted inside
+    # every object — partial runs merging in any order produce the same
+    # file, so BENCH_core.json diffs show only values that changed.
+    merged.sort(key=lambda r: r["name"])
     payload = {
         "schema": 1,
         "python": platform.python_version(),
@@ -93,7 +97,7 @@ def pytest_sessionfinish(session, exitstatus):
         "quick_mode": quick,
         "records": merged,
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(
         f"\n[bench] wrote {len(_BENCH_RECORDS)} records to {path} "
         f"({len(merged)} total after merge)"

@@ -1,0 +1,93 @@
+"""Durable-tier benchmark: cold vs warm first-query latency.
+
+The acceptance claim (asserted, not just recorded): a service restarted
+over a durable store answers its first query >= 3x faster than a cold
+service that must sort every access order, because the warm path
+replays persisted permutations (blob load + one columnar gather, zero
+Python-object materialisation) instead of sorting and building the full
+``RankTuple`` lists.
+
+Records a ``durable_warmstart[...]`` entry in ``BENCH_core.json`` with
+both latencies, the speedup, and the setup (construction) times of both
+services for honesty — the warm service's construction includes the
+catalog preload.
+
+Set ``PROXRJ_BENCH_QUICK=1`` (CI smoke mode) to shrink the workload.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import record_bench, synthetic_problem
+from repro.core import EuclideanLogScoring, Relation
+from repro.service import RankJoinService
+
+QUICK = bool(os.environ.get("PROXRJ_BENCH_QUICK"))
+N_TUPLES = 8_000 if QUICK else 30_000
+N_RELATIONS = 3
+K = 5
+
+SCORING = EuclideanLogScoring(1.0, 1.0, 1.0)
+
+
+def ranked(res):
+    return [(c.key, c.score) for c in res.combinations]
+
+
+@pytest.mark.parametrize("label", [f"n{N_TUPLES}xr{N_RELATIONS}"])
+def test_durable_warmstart(tmp_path, label):
+    relations, query = synthetic_problem(
+        n_relations=N_RELATIONS, n_tuples=N_TUPLES
+    )
+    store = tmp_path / "store"
+    for rel in relations:
+        rel.persist(store)
+
+    # -- cold: fresh store, nothing persisted beyond the columns --------
+    cold_rels = [Relation.open(store, r.name) for r in relations]
+    t0 = time.perf_counter()
+    cold = RankJoinService(cold_rels, SCORING, k=K, result_cache_size=0)
+    cold_setup_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    cold_result = cold.submit(query)
+    cold_first_s = time.perf_counter() - t0
+    assert cold.stats.order_sorts == N_RELATIONS
+    cold.close()
+    for r in cold_rels:
+        r.close()
+
+    # -- warm: restarted process over the same store --------------------
+    warm_rels = [Relation.open(store, r.name) for r in relations]
+    t0 = time.perf_counter()
+    warm = RankJoinService(warm_rels, SCORING, k=K, result_cache_size=0)
+    warm_setup_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm_result = warm.submit(query)
+    warm_first_s = time.perf_counter() - t0
+    assert warm.stats.order_sorts == 0, "warm first query must not re-sort"
+    assert warm.stats.orders_warm_loaded == N_RELATIONS
+    assert ranked(warm_result) == ranked(cold_result)
+    warm.close()
+    for r in warm_rels:
+        r.close()
+
+    speedup = cold_first_s / max(warm_first_s, 1e-9)
+    record_bench(
+        f"durable_warmstart[{label}]",
+        warm_first_s,
+        cold_first_seconds=round(cold_first_s, 6),
+        warm_first_seconds=round(warm_first_s, 6),
+        cold_setup_seconds=round(cold_setup_s, 6),
+        warm_setup_seconds=round(warm_setup_s, 6),
+        speedup=round(speedup, 2),
+        n_tuples=N_TUPLES,
+        n_relations=N_RELATIONS,
+    )
+    # The acceptance bar: warm beats cold by >= 3x on first-query latency.
+    assert warm_first_s * 3 <= cold_first_s, (
+        f"warm first query ({warm_first_s * 1e3:.1f} ms) not >=3x faster "
+        f"than cold ({cold_first_s * 1e3:.1f} ms)"
+    )

@@ -1,0 +1,132 @@
+"""Durable tiered storage: persist -> restart -> warm-start a service.
+
+A production rank-join deployment doesn't rebuild its relations from
+Python lists on every boot.  This demo walks the durable tier end to
+end:
+
+1. **Persist** two sharded relations into one store directory — an
+   immutable columnar file per shard (memory-mapped on read) behind a
+   WAL-mode SQLite catalog.
+2. **Cold serve**: a service over the freshly opened store answers a
+   batch of hot-bucket queries; every access order is sorted once and
+   written back to the catalog.
+3. **"Restart"**: close everything, re-open the store as a brand-new
+   process would, and build a *warm* service — its order LRU preloads
+   the persisted orders, so the first query of every hot bucket replays
+   an order computed in the previous life (zero re-sorts, and the
+   results are bit-identical to the in-memory reference).
+4. **Evict**: drop a shard from RAM and stream it back page by page
+   from the memmap through the same window API remote shards use —
+   results still bit-identical.
+
+Run:  python examples/durable_service.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import EuclideanLogScoring, Relation, ShardedRelation
+from repro.data import SyntheticConfig, generate_problem
+from repro.service import RankJoinService
+
+K = 5
+SHARDS = 2
+relations, base_query = generate_problem(
+    SyntheticConfig(
+        n_relations=2, dims=2, density=50.0, skew=1.0, n_tuples=400, seed=11
+    )
+)
+scoring = EuclideanLogScoring(1.0, 1.0, 1.0)
+sharded = [ShardedRelation.from_relation(r, shards=SHARDS) for r in relations]
+
+rng = np.random.default_rng(0)
+hot_buckets = [base_query + rng.uniform(-0.2, 0.2, 2) for _ in range(4)]
+queries = [hot_buckets[i % len(hot_buckets)] for i in range(12)]
+
+
+def ranked(res):
+    return [(c.key, round(c.score, 10)) for c in res.combinations]
+
+
+with tempfile.TemporaryDirectory() as tmp:
+    store = Path(tmp) / "store"
+
+    # -- 1. persist ---------------------------------------------------------
+    for rel in sharded:
+        rel.persist(store)
+    n_files = len(list((store / "shards").glob("*.shard")))
+    print(f"persisted {len(sharded)} relations as {n_files} shard files + catalog")
+
+    # -- 2. cold service ----------------------------------------------------
+    durable = [Relation.open(store, r.name) for r in sharded]
+    t0 = time.perf_counter()
+    # result_cache_size=0 keeps every submit on the stream path, so the
+    # demo's meters show order/stream traffic rather than result-cache hits.
+    cold = RankJoinService(durable, scoring, k=K, result_cache_size=0)
+    cold_first = cold.submit(queries[0])
+    cold_first_s = time.perf_counter() - t0
+    cold_rest = [cold.submit(q) for q in queries[1:]]
+    snap = cold.stats.snapshot()
+    print(
+        f"cold service: first query {cold_first_s * 1e3:.1f} ms, "
+        f"{snap['order_sorts']} orders sorted, "
+        f"{snap['catalog_order_writes']} written back to the catalog"
+    )
+    cold.close()
+    for r in durable:
+        r.close()
+
+    # In-memory reference for the bit-identity claims below.
+    reference = RankJoinService(sharded, scoring, k=K, result_cache_size=0)
+    ref_results = [reference.submit(q) for q in queries]
+    reference.close()
+
+    # -- 3. restart + warm start --------------------------------------------
+    durable = [Relation.open(store, r.name) for r in sharded]
+    t0 = time.perf_counter()
+    warm = RankJoinService(durable, scoring, k=K, result_cache_size=0)
+    warm_first = warm.submit(queries[0])
+    warm_first_s = time.perf_counter() - t0
+    warm_rest = [warm.submit(q) for q in queries[1:]]
+    snap = warm.stats.snapshot()
+    assert snap["order_sorts"] == 0, "warm restart must not re-sort"
+    assert ranked(warm_first) == ranked(cold_first) == ranked(ref_results[0])
+    for w, c, ref in zip(warm_rest, cold_rest, ref_results[1:]):
+        assert ranked(w) == ranked(c) == ranked(ref)
+    print(
+        f"warm restart: first query {warm_first_s * 1e3:.1f} ms "
+        f"(vs {cold_first_s * 1e3:.1f} ms cold), zero re-sorts — "
+        f"{snap['orders_warm_loaded']} orders preloaded from the catalog, "
+        f"{snap['stream_cache_hits']} LRU hits"
+    )
+    print("warm results bit-identical to cold and in-memory runs")
+
+    # -- 4. evict + page back -----------------------------------------------
+    for r in durable:
+        r.storage.evict_all()
+    paged = [warm.submit(q) for q in queries]
+    for p, ref in zip(paged, ref_results):
+        assert ranked(p) == ranked(ref)
+    counters = durable[0].storage.counters
+    print(
+        f"evicted shards paged back from disk: {counters['paged_windows']} "
+        f"windows, {counters['paged_rows']} rows served via the memmap — "
+        "results still bit-identical"
+    )
+    warm.close()
+    for r in durable:
+        r.close()
+
+    # Catalog hit trail: the persisted orders did the serving.
+    from repro.core.durable import ShardCatalog
+
+    with ShardCatalog(store / "catalog.sqlite") as cat:
+        hits = cat.total_order_hits()
+        stats = cat.order_stats()
+    print(
+        f"catalog hit stats: {hits} order replays across "
+        f"{len(stats)} persisted orders"
+    )

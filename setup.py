@@ -1,3 +1,17 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="proxrj-repro",
+    version="0.6.0",
+    description=(
+        "Reproduction of proximity rank join (PVLDB 2010): ProxRJ template, "
+        "CBRR/CBPA/TBRR/TBPA, sharded + durable tiered storage, services"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    # numpy is the only third-party runtime dependency; the durable tier
+    # additionally uses the sqlite3 standard-library module (present in
+    # every normal CPython build — no extra install).
+    install_requires=["numpy>=1.22"],
+)

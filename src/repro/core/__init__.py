@@ -15,6 +15,16 @@ from repro.core.batchscore import CandidatePruner, QuadraticBatchScorer
 from repro.core.bounds import ApproxTightBound, CornerBound, TightBound
 from repro.core.buffers import TopKBuffer
 from repro.core.columnar import ColumnarPrefix
+from repro.core.durable import (
+    DurableRelation,
+    DurableShardBackend,
+    EvictedShardEndpoint,
+    PagedShardCursor,
+    ShardCatalog,
+    ShardFile,
+    open_relation,
+    persist_relation,
+)
 from repro.core.naive import brute_force_topk
 from repro.core.probing import ProbeRankJoin, ProbeRunResult
 from repro.core.pulling import PotentialAdaptive, PullingStrategy, RoundRobin
@@ -64,6 +74,14 @@ __all__ = [
     "TightBound",
     "TopKBuffer",
     "ColumnarPrefix",
+    "DurableRelation",
+    "DurableShardBackend",
+    "EvictedShardEndpoint",
+    "PagedShardCursor",
+    "ShardCatalog",
+    "ShardFile",
+    "open_relation",
+    "persist_relation",
     "brute_force_topk",
     "ProbeRankJoin",
     "ProbeRunResult",

@@ -170,6 +170,10 @@ class _SortedOrderMixin:
         """Materialise the access order ``order`` (position permutation)."""
         self._order_tuples = [relation[int(i)] for i in order]
         self._order_ranks = ranks
+        #: The sort permutation itself (base-data positions in access
+        #: order) — what the durable catalog persists so a later process
+        #: can replay this exact order with zero re-sorts.
+        self.order_positions = np.asarray(order, dtype=np.int64)
         self._order_arrays = (
             relation.vectors[order],
             relation.scores[order],

@@ -1,0 +1,280 @@
+"""Append-only columnar shard files served through ``np.memmap``.
+
+One file holds one shard of one relation generation: a fixed-size header
+(magic, length-prefixed JSON metadata, segment table with per-segment
+CRC32 checksums) followed by 64-byte-aligned columnar segments —
+``scores (n float64)``, ``vectors (n*d float64)``, ``tids (n int64)``,
+``positions (n int64)`` (each row's position in the parent relation, so
+re-opening can scatter shards back into the exact parent row order) and
+an optional JSON ``attrs`` segment.  :class:`ShardFile` memory-maps the
+file once and exposes the segments as zero-copy array views: the access
+layer's sorts fancy-index them exactly like in-memory columns, the
+evicted-tier window API slices only the rows a window touches, and the
+OS page cache decides what is actually resident.
+
+Durability protocol (what the catalog's crash-consistency guarantee
+rests on):
+
+* a shard file is **immutable once named** — generations get fresh
+  filenames, so a reader holding generation ``g`` can never observe a
+  torn rewrite;
+* :func:`write_shard_file` writes to ``<path>.tmp``, flushes, fsyncs,
+  then atomically renames — a writer dying mid-write leaves only a
+  ``.tmp`` no catalog row references;
+* the header records every segment's byte extent and CRC32, and
+  :meth:`ShardFile.verify` recomputes them, so truncated or corrupted
+  files are detected instead of silently served.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ShardFile", "write_shard_file", "FORMAT_MAGIC", "FORMAT_VERSION"]
+
+FORMAT_MAGIC = b"PRXSHRD1"
+FORMAT_VERSION = 1
+
+#: Segment offsets are multiples of this, so float64/int64 views of the
+#: page-aligned memmap buffer are always safely aligned.
+_ALIGN = 64
+_PREAMBLE = struct.Struct("<8sII")  # magic, header json length, data start
+
+
+def _aligned(offset: int) -> int:
+    return -(-offset // _ALIGN) * _ALIGN
+
+
+def write_shard_file(
+    path: Path | str,
+    *,
+    relation: str,
+    shard_index: int,
+    generation: int,
+    sigma_max: float,
+    scores: np.ndarray,
+    vectors: np.ndarray,
+    tids: np.ndarray,
+    positions: np.ndarray,
+    attrs: Sequence[Mapping[str, Any]] | None = None,
+    interrupt: Callable[[], None] | None = None,
+) -> dict:
+    """Write one shard as a columnar file; returns its catalog row.
+
+    The file is written to ``<path>.tmp`` and renamed into place only
+    after a flush + fsync, so a crash mid-write never produces a
+    readable-looking partial file under the final name.  ``interrupt``
+    is a test-only failpoint invoked after roughly half the payload
+    bytes are on disk — raising from it models a writer killed
+    mid-``persist``.
+    """
+    path = Path(path)
+    scores = np.ascontiguousarray(scores, dtype=np.float64)
+    vectors = np.ascontiguousarray(np.atleast_2d(vectors), dtype=np.float64)
+    tids = np.ascontiguousarray(tids, dtype=np.int64)
+    positions = np.ascontiguousarray(positions, dtype=np.int64)
+    n, dim = vectors.shape
+    if not len(scores) == n == len(tids) == len(positions):
+        raise ValueError(f"misaligned shard columns for {path}")
+    segments: list[tuple[str, bytes]] = [
+        ("scores", scores.tobytes()),
+        ("vectors", vectors.tobytes()),
+        ("tids", tids.tobytes()),
+        ("positions", positions.tobytes()),
+    ]
+    if attrs is not None and any(attrs):
+        segments.append(
+            ("attrs", json.dumps([dict(a) for a in attrs]).encode("utf-8"))
+        )
+    # Offsets are computed relative to a fixed data start, so the header
+    # JSON (whose own length varies) never perturbs the layout.
+    table = []
+    offset = 0
+    for name, payload in segments:
+        offset = _aligned(offset)
+        table.append(
+            {
+                "name": name,
+                "offset": offset,
+                "nbytes": len(payload),
+                "crc32": zlib.crc32(payload),
+            }
+        )
+        offset += len(payload)
+    header = {
+        "version": FORMAT_VERSION,
+        "relation": relation,
+        "shard_index": int(shard_index),
+        "generation": int(generation),
+        "n": int(n),
+        "dim": int(dim),
+        "sigma_max": float(sigma_max),
+        "tid_min": int(tids.min()),
+        "tid_max": int(tids.max()),
+        "dtypes": {"scores": "<f8", "vectors": "<f8", "tids": "<i8", "positions": "<i8"},
+        "segments": table,
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    data_start = _aligned(_PREAMBLE.size + len(header_bytes))
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(_PREAMBLE.pack(FORMAT_MAGIC, len(header_bytes), data_start))
+        fh.write(header_bytes)
+        fh.write(b"\0" * (data_start - _PREAMBLE.size - len(header_bytes)))
+        written = 0
+        half = sum(len(p) for _, p in segments) // 2
+        fired = interrupt is None
+        for entry, (_, payload) in zip(table, segments):
+            fh.seek(data_start + entry["offset"])
+            fh.write(payload)
+            written += len(payload)
+            if not fired and written >= half:
+                fh.flush()
+                fired = True
+                interrupt()
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+    checksum = zlib.crc32(b"".join(struct.pack("<I", e["crc32"]) for e in table))
+    return {
+        "filename": path.name,
+        "n": n,
+        "dim": dim,
+        "sigma_max": float(sigma_max),
+        "tid_min": header["tid_min"],
+        "tid_max": header["tid_max"],
+        "checksum": checksum,
+    }
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort directory fsync so the rename itself is durable."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+class ShardFile:
+    """Zero-copy reader over one columnar shard file.
+
+    The whole file is mapped read-only once; ``scores``/``vectors``/
+    ``tids``/``positions`` are array views into the mapping (nothing is
+    read until a consumer touches the pages), and ``attrs`` decodes its
+    JSON segment lazily on first access.
+    """
+
+    def __init__(self, path: Path | str, *, verify: bool = False) -> None:
+        self.path = Path(path)
+        with open(self.path, "rb") as fh:
+            preamble = fh.read(_PREAMBLE.size)
+            if len(preamble) < _PREAMBLE.size:
+                raise ValueError(f"{self.path}: truncated shard file preamble")
+            magic, header_len, data_start = _PREAMBLE.unpack(preamble)
+            if magic != FORMAT_MAGIC:
+                raise ValueError(f"{self.path}: not a shard file (bad magic)")
+            header_bytes = fh.read(header_len)
+            if len(header_bytes) < header_len:
+                raise ValueError(f"{self.path}: truncated shard file header")
+        header = json.loads(header_bytes.decode("utf-8"))
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"{self.path}: unsupported shard format version "
+                f"{header.get('version')!r}"
+            )
+        self.header = header
+        self.relation = str(header["relation"])
+        self.shard_index = int(header["shard_index"])
+        self.generation = int(header["generation"])
+        self.n = int(header["n"])
+        self.dim = int(header["dim"])
+        self.sigma_max = float(header["sigma_max"])
+        self._data_start = int(data_start)
+        self._segments = {s["name"]: s for s in header["segments"]}
+        expected_end = data_start + max(
+            s["offset"] + s["nbytes"] for s in header["segments"]
+        )
+        actual = self.path.stat().st_size
+        if actual < expected_end:
+            raise ValueError(
+                f"{self.path}: torn shard file ({actual} bytes on disk, "
+                f"header promises {expected_end})"
+            )
+        self._mm = np.memmap(self.path, dtype=np.uint8, mode="r")
+        self._attrs: list[dict] | None = None
+        if verify:
+            self.verify()
+
+    def _segment_bytes(self, name: str) -> np.ndarray:
+        seg = self._segments[name]
+        lo = self._data_start + seg["offset"]
+        return self._mm[lo : lo + seg["nbytes"]]
+
+    @property
+    def scores(self) -> np.ndarray:
+        """``(n,)`` float64 view into the mapping (zero-copy)."""
+        return self._segment_bytes("scores").view(np.float64)
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """``(n, dim)`` float64 view into the mapping (zero-copy)."""
+        return self._segment_bytes("vectors").view(np.float64).reshape(
+            self.n, self.dim
+        )
+
+    @property
+    def tids(self) -> np.ndarray:
+        """``(n,)`` int64 view into the mapping (zero-copy)."""
+        return self._segment_bytes("tids").view(np.int64)
+
+    @property
+    def positions(self) -> np.ndarray:
+        """``(n,)`` int64 parent-row positions (zero-copy view)."""
+        return self._segment_bytes("positions").view(np.int64)
+
+    @property
+    def attrs(self) -> list[dict] | None:
+        """Per-row attribute dicts, or ``None`` when the shard has none
+        (decoded once, on first access)."""
+        if "attrs" not in self._segments:
+            return None
+        if self._attrs is None:
+            self._attrs = json.loads(bytes(self._segment_bytes("attrs")).decode("utf-8"))
+        return self._attrs
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes the shard pins when fully resident."""
+        return sum(s["nbytes"] for s in self._segments.values())
+
+    def verify(self) -> None:
+        """Recompute every segment CRC32 against the header (reads the
+        whole file; raises ``ValueError`` on any mismatch)."""
+        for name, seg in self._segments.items():
+            actual = zlib.crc32(self._segment_bytes(name).tobytes())
+            if actual != seg["crc32"]:
+                raise ValueError(
+                    f"{self.path}: checksum mismatch in segment {name!r} "
+                    f"(stored {seg['crc32']:#010x}, computed {actual:#010x})"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardFile({self.path.name!r}, relation={self.relation!r}, "
+            f"shard={self.shard_index}, gen={self.generation}, n={self.n}, "
+            f"d={self.dim})"
+        )

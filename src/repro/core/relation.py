@@ -233,6 +233,36 @@ class Relation:
         return self
 
     @classmethod
+    def _from_columns(
+        cls,
+        name: str,
+        scores: np.ndarray,
+        vectors: np.ndarray,
+        tids: np.ndarray,
+        sigma_max: float,
+        tuples: Sequence[RankTuple],
+    ) -> "Relation":
+        """Internal: wrap pre-built columnar columns and a *lazy* tuple
+        sequence (the durable tier's hot-shard path).
+
+        Unlike :meth:`_from_rows` the tuple sequence is kept as-is — a
+        memmap-backed shard passes a pay-as-you-go row view, so opening
+        a shard materialises zero ``RankTuple`` objects up front."""
+        self = cls.__new__(cls)
+        vecs = np.atleast_2d(np.asarray(vectors, dtype=float))
+        scores = np.asarray(scores, dtype=float)
+        tids = np.asarray(tids, dtype=np.int64)
+        if not len(vecs) == len(scores) == len(tids) == len(tuples) or not len(vecs):
+            raise ValueError(f"relation {name!r}: misaligned or empty columns")
+        self.name = name
+        self._vectors = vecs
+        self._scores = scores
+        self._tids = tids
+        self._tuples = tuples
+        self.sigma_max = float(sigma_max)
+        return self
+
+    @classmethod
     def from_tuples(
         cls,
         name: str,
@@ -244,6 +274,44 @@ class Relation:
         scores = [r[0] for r in rows]
         vectors = np.array([r[1] for r in rows], dtype=float)
         return cls(name, scores, vectors, sigma_max=sigma_max)
+
+    def persist(self, path) -> "Relation":
+        """Persist this relation into the durable store at ``path``.
+
+        Writes one immutable columnar shard file per storage shard plus
+        an atomic catalog generation flip (see
+        :mod:`repro.core.durable`); returns ``self`` for chaining.  The
+        same store directory can hold several relations — they share one
+        catalog.
+        """
+        from repro.core.durable import persist_relation
+
+        persist_relation(self, path)
+        return self
+
+    @classmethod
+    def open(
+        cls,
+        path,
+        name: str | None = None,
+        *,
+        memory_budget: int | None = None,
+        verify: bool = False,
+    ) -> "Relation":
+        """Open a persisted relation from the durable store at ``path``.
+
+        Returns a :class:`~repro.core.durable.DurableRelation` whose
+        shard columns are ``np.memmap`` views and whose storage backend
+        manages the hot/evicted tier; ``name`` may be omitted when the
+        store holds exactly one relation.  ``memory_budget`` (bytes)
+        caps hot-shard residency; ``verify`` checks segment checksums at
+        open time.
+        """
+        from repro.core.durable import open_relation
+
+        return open_relation(
+            path, name, memory_budget=memory_budget, verify=verify
+        )
 
 
 @dataclass(frozen=True)

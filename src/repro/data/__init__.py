@@ -9,8 +9,10 @@ from repro.data.generators import (
     correlated_problem,
 )
 from repro.data.io import (
+    load_problem_durable,
     load_problem_npz,
     load_relation_csv,
+    save_problem_durable,
     save_problem_npz,
     save_relation_csv,
 )
@@ -24,8 +26,10 @@ __all__ = [
     "anticorrelated_problem",
     "clustered_problem",
     "correlated_problem",
+    "load_problem_durable",
     "load_problem_npz",
     "load_relation_csv",
+    "save_problem_durable",
     "save_problem_npz",
     "save_relation_csv",
     "SyntheticConfig",

@@ -9,6 +9,13 @@ result can be checked in and reloaded.  Two formats are supported:
 * **NPZ** — one file per *problem* (all relations + the query vector),
   compact and lossless; the format the experiment harness uses for
   snapshotting.
+* **Durable store** — one *directory* per problem: every relation
+  persisted through :mod:`repro.core.durable` (immutable columnar shard
+  files behind a shared WAL-mode catalog) plus the query vector.
+  Unlike CSV/NPZ this format is also the live serving tier — relations
+  loaded from it are memmap-backed :class:`~repro.core.durable.
+  DurableRelation` objects with persisted access orders, not in-memory
+  copies.
 """
 
 from __future__ import annotations
@@ -26,7 +33,11 @@ __all__ = [
     "load_relation_csv",
     "save_problem_npz",
     "load_problem_npz",
+    "save_problem_durable",
+    "load_problem_durable",
 ]
+
+QUERY_FILENAME = "query.npy"
 
 
 def save_relation_csv(relation: Relation, path: Path | str) -> None:
@@ -107,6 +118,52 @@ def save_problem_npz(
             [json.dumps(t.attrs) for t in rel]
         )
     np.savez_compressed(path, **payload)
+
+
+def save_problem_durable(
+    relations: list[Relation], query: np.ndarray, path: Path | str
+) -> Path:
+    """Persist a whole join problem into a durable store directory.
+
+    Every relation is persisted through :func:`~repro.core.durable.
+    persist_relation` (they share the directory's catalog); the query
+    vector lands next to it as ``query.npy``.  Re-persisting into an
+    existing store bumps each relation's generation atomically.
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    from repro.core.durable import persist_relation
+
+    for rel in relations:
+        persist_relation(rel, path)
+    np.save(path / QUERY_FILENAME, np.asarray(query, dtype=float))
+    return path
+
+
+def load_problem_durable(
+    path: Path | str,
+    *,
+    memory_budget: int | None = None,
+    verify: bool = False,
+) -> tuple[list[Relation], np.ndarray]:
+    """Open a problem written by :func:`save_problem_durable`.
+
+    Relations come back as memmap-backed
+    :class:`~repro.core.durable.DurableRelation` objects, in the order
+    they were first persisted — ready to serve queries (or warm-start a
+    service) without loading the columns into RAM.
+    """
+    path = Path(path)
+    from repro.core.durable import CATALOG_FILENAME, ShardCatalog, open_relation
+
+    with ShardCatalog(path / CATALOG_FILENAME) as catalog:
+        names = catalog.relation_names()
+    relations: list[Relation] = [
+        open_relation(path, name, memory_budget=memory_budget, verify=verify)
+        for name in names
+    ]
+    query = np.load(path / QUERY_FILENAME)
+    return relations, query
 
 
 def load_problem_npz(path: Path | str) -> tuple[list[Relation], np.ndarray]:

@@ -396,6 +396,11 @@ class AsyncRankJoinService(RankJoinService):
         Threads running engine loops; defaults to ``max_inflight``.
     """
 
+    #: The base constructor instantiates this, so warm-start counters
+    #: recorded during ``super().__init__`` land on the async stats
+    #: object instead of being discarded by a post-hoc replacement.
+    _stats_cls = AsyncServiceStats
+
     def __init__(
         self,
         relations: list[Relation],
@@ -425,7 +430,6 @@ class AsyncRankJoinService(RankJoinService):
         kwargs.setdefault("cache_size", 64)
         kwargs.pop("shard_workers", None)  # the event loop owns shard fan-out
         super().__init__(relations, scoring, shard_workers=0, **kwargs)
-        self.stats: AsyncServiceStats = AsyncServiceStats()
         self.page_size = page_size
         if latency is None:
             latency = LatencyModel(base=0.002, jitter=0.0005)

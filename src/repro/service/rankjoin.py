@@ -48,6 +48,7 @@ import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -75,16 +76,22 @@ class CachedOrder:
     score per tuple under score access, aligned with ``tuples``.
     ``vectors``/``scores``/``tids`` are the order's columnar arrays
     (shared with every stream replaying this order — LRU hits never
-    re-materialise them).
+    re-materialise them).  ``tuples`` may be any aligned sequence:
+    freshly sorted orders carry a plain tuple, durable warm-loaded
+    orders a lazy row view that materialises ``RankTuple`` objects only
+    for pulled positions.  ``positions`` is the sort permutation (base
+    positions in access order) when known — what the durable catalog
+    persists for zero-re-sort restarts.
     """
 
     kind: AccessKind
-    tuples: tuple[RankTuple, ...]
+    tuples: Sequence[RankTuple]
     ranks: np.ndarray
     vectors: np.ndarray
     scores: np.ndarray
     tids: np.ndarray
     sigma_max: float
+    positions: np.ndarray | None = None
 
 
 class CachedOrderStream:
@@ -185,6 +192,14 @@ class ServiceStats:
     stream_cache_hits: int = 0
     stream_cache_misses: int = 0
     result_cache_hits: int = 0
+    #: Orders actually sorted by this process (LRU miss + catalog miss).
+    order_sorts: int = 0
+    #: Orders served from the durable catalog instead of a re-sort.
+    catalog_order_hits: int = 0
+    #: Computed orders written back to the durable catalog.
+    catalog_order_writes: int = 0
+    #: Orders preloaded into the LRU at construction (warm start).
+    orders_warm_loaded: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -268,7 +283,22 @@ class RankJoinService:
         serially.  This pool is separate from the :meth:`submit_many`
         pool on purpose — shard pulls are leaf tasks, so sharing a pool
         with the query runners could deadlock under full load.
+    warm_start:
+        When any relation is durable
+        (:class:`~repro.core.durable.DurableRelation`), preload the
+        most-recently-used persisted access orders from its catalog into
+        the order LRU at construction (up to ``cache_size`` per
+        relation) and write every freshly computed order back.  A
+        restarted service then answers its first hot-bucket query with
+        **zero re-sorts** — ``stats.order_sorts`` stays 0 and the
+        catalog's hit counters record the replay.  On by default; orders
+        are still written back when disabled.
     """
+
+    #: Stats class instantiated by ``__init__``; subclasses override to
+    #: extend the counter set without replacing the live object (warm
+    #: start records counters *during* construction).
+    _stats_cls = ServiceStats
 
     def __init__(
         self,
@@ -286,6 +316,7 @@ class RankJoinService:
         max_workers: int = 4,
         max_pulls: int | None = None,
         shard_workers: int | None = None,
+        warm_start: bool = True,
     ) -> None:
         if not relations:
             raise ValueError("need at least one relation")
@@ -309,11 +340,19 @@ class RankJoinService:
         self.bucket_decimals = bucket_decimals
         self.max_workers = max_workers
         self.max_pulls = max_pulls
-        self.stats = ServiceStats()
+        self.stats = self._stats_cls()
         self._lock = threading.Lock()
         self._orders = _LRU(cache_size)
         self._results = _LRU(result_cache_size) if result_cache_size else None
-        max_shards = max(r.storage.shard_count for r in relations)
+        # Durable relations expose a stable tier-managing backend; plain
+        # relations build a fresh single-shard backend per access, so
+        # only durable backends are pinned here.
+        self._durable = {}
+        backends = [r.storage for r in relations]
+        for backend in backends:
+            if getattr(backend, "is_durable", False):
+                self._durable[backend.relation.name] = backend
+        max_shards = max(b.shard_count for b in backends)
         if shard_workers is None:
             shard_workers = min(8, max_shards) if max_shards > 1 else 0
         self._shard_pool = (
@@ -323,6 +362,8 @@ class RankJoinService:
             if shard_workers
             else None
         )
+        if warm_start and self._durable:
+            self._warm_start(cache_size)
 
     def close(self) -> None:
         """Shut down the shard-pull pool (idempotent).  The service stays
@@ -351,6 +392,43 @@ class RankJoinService:
 
     # -- shared access orders ---------------------------------------------
 
+    def _warm_start(self, cache_size: int) -> None:
+        """Preload the order LRU from every durable relation's catalog.
+
+        Loads the most recently used persisted orders of this service's
+        access kind — up to ``cache_size`` per relation, newest last so
+        LRU recency mirrors catalog recency.  Nothing is sorted: the
+        permutation and rank column come back as the exact bytes a
+        previous process computed, and the columnar arrays are one
+        fancy-index gather from the shard memmaps.
+        """
+        loaded = 0
+        for backend in self._durable.values():
+            entries = list(
+                backend.load_recent_orders(self.kind, limit=cache_size)
+            )
+            for shard_index, bucket, order in reversed(entries):
+                key = (
+                    backend.relation.name,
+                    shard_index,
+                    bucket if self.kind is AccessKind.DISTANCE else b"",
+                )
+                cached = CachedOrder(
+                    kind=self.kind,
+                    tuples=order.tuples,
+                    ranks=order.ranks,
+                    vectors=order.vectors,
+                    scores=order.scores,
+                    tids=order.tids,
+                    sigma_max=order.sigma_max,
+                    positions=order.positions,
+                )
+                with self._lock:
+                    self._orders.put(key, cached)
+                loaded += 1
+        if loaded:
+            self.stats.record(orders_warm_loaded=loaded)
+
     def _order_for(
         self,
         shard: Relation,
@@ -365,21 +443,39 @@ class RankJoinService:
         relations use shard index 0.  Score access is query-independent:
         one cache entry per (relation, shard).
         """
-        key = (
-            shard.name,
-            shard_idx,
-            bucket if self.kind is AccessKind.DISTANCE else b"",
-        )
+        key_bucket = bucket if self.kind is AccessKind.DISTANCE else b""
+        key = (shard.name, shard_idx, key_bucket)
         with self._lock:
             cached = self._orders.get(key)
         if cached is not None:
             self.stats.record(stream_cache_hits=1)
             return cached
         self.stats.record(stream_cache_misses=1)
+        backend = self._durable.get(shard.name)
+        if backend is not None:
+            # Durable relation: probe the catalog before sorting — a hit
+            # replays the exact persisted permutation (zero re-sorts).
+            durable_order = backend.load_order(shard_idx, self.kind, key_bucket)
+            if durable_order is not None:
+                self.stats.record(catalog_order_hits=1)
+                order = CachedOrder(
+                    kind=self.kind,
+                    tuples=durable_order.tuples,
+                    ranks=durable_order.ranks,
+                    vectors=durable_order.vectors,
+                    scores=durable_order.scores,
+                    tids=durable_order.tids,
+                    sigma_max=durable_order.sigma_max,
+                    positions=durable_order.positions,
+                )
+                with self._lock:
+                    self._orders.put(key, order)
+                return order
         # Sort outside the lock: concurrent misses may duplicate work but
         # never block each other; last writer wins with an equal order.
         # The sorted streams materialise their order columnar at open
         # time; drain in one block pull and share those arrays.
+        self.stats.record(order_sorts=1)
         if self.kind is AccessKind.DISTANCE:
             inner: DistanceAccess | ScoreAccess = DistanceAccess(shard, canonical)
             tuples = inner.next_block(len(shard))
@@ -397,9 +493,17 @@ class RankJoinService:
             scores=scores,
             tids=tids,
             sigma_max=shard.sigma_max,
+            positions=inner.order_positions,
         )
         with self._lock:
             self._orders.put(key, order)
+        if backend is not None:
+            # Write the computed order back so the next process warm
+            # starts from it.
+            backend.store_order(
+                shard_idx, self.kind, key_bucket, order.positions, order.ranks
+            )
+            self.stats.record(catalog_order_writes=1)
         return order
 
     def _open_cached_stream(
@@ -408,7 +512,41 @@ class RankJoinService:
         """One engine-facing stream for ``relation``, replaying cached
         per-shard orders: a :class:`CachedOrderStream` for single-shard
         relations, a shard-parallel
-        :class:`~repro.core.access.MergeStream` otherwise."""
+        :class:`~repro.core.access.MergeStream` otherwise.  Durable
+        relations with evicted shards keep those shards on disk: their
+        persisted orders stream back window by window through paged
+        cursors while hot shards replay cached orders — same merge, same
+        bit-identical stream."""
+        backend = self._durable.get(relation.name)
+        if backend is not None and backend.evicted_count:
+            key_bucket = bucket if self.kind is AccessKind.DISTANCE else b""
+            cursors = []
+            sigma = relation.sigma_max
+            for handle in backend.handles:
+                if handle.evicted:
+                    cursors.append(
+                        backend.paged_cursor(
+                            handle.index, self.kind, key_bucket, canonical
+                        )
+                    )
+                else:
+                    o = self._order_for(
+                        backend.shard_relation(handle.index),
+                        handle.index,
+                        bucket,
+                        canonical,
+                    )
+                    cursors.append(
+                        ShardCursor(o.tuples, o.ranks, o.vectors, o.scores, o.tids)
+                    )
+                    sigma = max(sigma, o.sigma_max)
+            return MergeStream(
+                relation,
+                self.kind,
+                cursors,
+                sigma_max=sigma,
+                executor=self._shard_pool,
+            )
         shards = relation.storage.shards
         if len(shards) == 1:
             return CachedOrderStream(

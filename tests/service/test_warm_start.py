@@ -1,0 +1,263 @@
+"""Warm-start tests: the service order LRU round-trips through the
+durable catalog.
+
+The satellite bar: computed order → catalog write-back → evict →
+reload is *bit-identical* (permutation, rank, tid bytes), including
+tie-heavy orders and bucket-key collisions; and a restarted service
+answers its first hot-bucket query with zero re-sorts, proven by both
+the service counters and the catalog's hit trail.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AccessKind,
+    EuclideanLogScoring,
+    Relation,
+    ShardedRelation,
+)
+from repro.core.durable import ShardCatalog, open_relation, persist_relation
+from repro.data import SyntheticConfig, generate_problem
+from repro.service import RankJoinService
+from repro.service.async_service import AsyncRankJoinService, AsyncServiceStats
+
+SCORING = EuclideanLogScoring(1.0, 1.0, 1.0)
+
+
+def make_problem(n=2, size=48, seed=0, d=2):
+    return generate_problem(
+        SyntheticConfig(
+            n_relations=n, dims=d, density=50.0, skew=1.0,
+            n_tuples=size, seed=seed,
+        )
+    )
+
+
+def persist_all(relations, store, shards=2):
+    sharded = [
+        ShardedRelation.from_relation(r, shards=shards) if shards > 1 else r
+        for r in relations
+    ]
+    for r in sharded:
+        persist_relation(r, store)
+    return sharded
+
+
+def open_all(relations, store):
+    return [open_relation(store, r.name) for r in relations]
+
+
+def result_sig(res):
+    return (
+        [(c.key, c.score) for c in res.combinations],
+        tuple(res.depths),
+        res.bound,
+    )
+
+
+def lru_orders(svc):
+    """The service's live LRU content, keyed for comparison."""
+    return dict(svc._orders._data)
+
+
+class TestOrderRoundTrip:
+    def test_lru_entry_reload_is_bit_identical(self, tmp_path):
+        relations, query = make_problem()
+        persist_all(relations, tmp_path, shards=2)
+        durable = open_all(relations, tmp_path)
+        cold = RankJoinService(durable, SCORING, k=5)
+        cold.submit(query)
+        cold_orders = lru_orders(cold)
+        assert cold.stats.order_sorts == 4  # 2 relations x 2 shards
+        assert cold.stats.catalog_order_writes == 4
+        cold.close()
+        for r in durable:
+            r.close()
+        # Fresh process: same store, new service — LRU preloaded from the
+        # catalog with the exact bytes the cold service computed.
+        durable2 = open_all(relations, tmp_path)
+        warm = RankJoinService(durable2, SCORING, k=5)
+        assert warm.stats.orders_warm_loaded == 4
+        warm_orders = lru_orders(warm)
+        assert set(warm_orders) == set(cold_orders)
+        for key, a in cold_orders.items():
+            b = warm_orders[key]
+            assert a.positions.tobytes() == b.positions.tobytes()
+            assert a.ranks.tobytes() == b.ranks.tobytes()
+            assert a.tids.tobytes() == b.tids.tobytes()
+            assert a.vectors.tobytes() == b.vectors.tobytes()
+            assert a.scores.tobytes() == b.scores.tobytes()
+            assert a.sigma_max == b.sigma_max
+        warm.close()
+        for r in durable2:
+            r.close()
+
+    def test_tie_heavy_orders_round_trip(self, tmp_path):
+        """Two-valued scores on a tiny grid: every position is a
+        tie-break, so any order perturbation in the round trip shows."""
+        rng = np.random.default_rng(1)
+        size = 30
+        rel = ShardedRelation(
+            "T",
+            rng.choice([0.5, 1.0], size),
+            rng.choice([-1.0, 0.0, 1.0], (size, 2)),
+            shards=2,
+            sigma_max=1.0,
+        )
+        persist_relation(rel, tmp_path)
+        query = np.zeros(2)
+        for kind in (AccessKind.DISTANCE, AccessKind.SCORE):
+            dur = open_relation(tmp_path)
+            cold = RankJoinService([dur], SCORING, kind=kind, k=4)
+            ref = result_sig(cold.submit(query))
+            cold_orders = lru_orders(cold)
+            cold.close()
+            dur.close()
+            dur2 = open_relation(tmp_path)
+            warm = RankJoinService([dur2], SCORING, kind=kind, k=4)
+            assert warm.stats.orders_warm_loaded >= 2
+            for key, a in cold_orders.items():
+                b = lru_orders(warm)[key]
+                assert a.positions.tobytes() == b.positions.tobytes()
+                assert a.ranks.tobytes() == b.ranks.tobytes()
+            assert result_sig(warm.submit(query)) == ref
+            assert warm.stats.order_sorts == 0
+            warm.close()
+            dur2.close()
+
+    def test_lru_evict_then_catalog_reload(self, tmp_path):
+        """cache_size=1 keeps evicting entries; re-queries reload them
+        from the catalog — never by re-sorting — and results match."""
+        relations, query = make_problem(n=2, size=40)
+        persist_all(relations, tmp_path, shards=1)
+        durable = open_all(relations, tmp_path)
+        svc = RankJoinService(
+            durable, SCORING, k=5, cache_size=1, result_cache_size=0,
+            warm_start=False,
+        )
+        ref = result_sig(svc.submit(query))
+        first_sorts = svc.stats.order_sorts
+        assert first_sorts == 2
+        # Same query again: the 1-entry LRU lost at least one order, but
+        # the catalog serves it back without a re-sort.
+        assert result_sig(svc.submit(query)) == ref
+        assert svc.stats.order_sorts == first_sorts
+        assert svc.stats.catalog_order_hits >= 1
+        svc.close()
+        for r in durable:
+            r.close()
+
+    def test_bucket_key_collisions_and_separation(self, tmp_path):
+        """Queries that round to one bucket share a catalog order row;
+        queries in different buckets get distinct rows."""
+        relations, query = make_problem(n=2, size=40)
+        persist_all(relations, tmp_path, shards=1)
+        durable = open_all(relations, tmp_path)
+        svc = RankJoinService(
+            durable, SCORING, k=5, bucket_decimals=2, result_cache_size=0,
+        )
+        q1 = np.asarray(query, dtype=float)
+        q1_twin = q1 + 1e-6   # collides with q1 at 2 decimals
+        q2 = q1 + 0.25        # distinct bucket
+        sorts = []
+        for q in (q1, q1_twin, q2):
+            svc.submit(q)
+            sorts.append(svc.stats.order_sorts)
+        # The twin reused q1's orders: no new sorts; q2 sorted its own.
+        assert sorts == [2, 2, 4]
+        with ShardCatalog(tmp_path / "catalog.sqlite") as cat:
+            per_rel = {
+                r.name: cat.order_count(r.name, r.generation, "distance")
+                for r in durable
+            }
+        assert all(count == 2 for count in per_rel.values())  # 2 buckets each
+        svc.close()
+        for r in durable:
+            r.close()
+
+
+class TestRestartedService:
+    @pytest.mark.parametrize("kind", [AccessKind.DISTANCE, AccessKind.SCORE])
+    def test_first_query_zero_resorts(self, tmp_path, kind):
+        relations, query = make_problem(n=2, size=48)
+        persist_all(relations, tmp_path, shards=2)
+        durable = open_all(relations, tmp_path)
+        cold = RankJoinService(durable, SCORING, kind=kind, k=5)
+        ref = result_sig(cold.submit(query))
+        cold.close()
+        for r in durable:
+            r.close()
+        durable2 = open_all(relations, tmp_path)
+        warm = RankJoinService(durable2, SCORING, kind=kind, k=5)
+        assert result_sig(warm.submit(query)) == ref
+        snap = warm.stats.snapshot()
+        assert snap["order_sorts"] == 0
+        assert snap["stream_cache_hits"] == 4
+        assert snap["orders_warm_loaded"] == 4
+        warm.close()
+        for r in durable2:
+            r.close()
+
+    def test_catalog_hit_trail_counts_warm_serving(self, tmp_path):
+        """Even without the LRU preload, a restarted service's first
+        query is served from the catalog (hits counted there)."""
+        relations, query = make_problem(n=2, size=40)
+        persist_all(relations, tmp_path, shards=1)
+        durable = open_all(relations, tmp_path)
+        svc = RankJoinService(durable, SCORING, k=5)
+        svc.submit(query)
+        svc.close()
+        for r in durable:
+            r.close()
+        durable2 = open_all(relations, tmp_path)
+        svc2 = RankJoinService(durable2, SCORING, k=5, warm_start=False)
+        svc2.submit(query)
+        assert svc2.stats.order_sorts == 0
+        assert svc2.stats.catalog_order_hits == 2
+        with ShardCatalog(tmp_path / "catalog.sqlite") as cat:
+            assert cat.total_order_hits() >= 2
+        svc2.close()
+        for r in durable2:
+            r.close()
+
+    def test_plain_relations_unaffected(self):
+        """No durable relation: warm start is a no-op and the service
+        behaves exactly as before (sorts once per shard, no writes)."""
+        relations, query = make_problem(n=2, size=40)
+        svc = RankJoinService(relations, SCORING, k=5)
+        svc.submit(query)
+        snap = svc.stats.snapshot()
+        assert snap["orders_warm_loaded"] == 0
+        assert snap["catalog_order_writes"] == 0
+        assert snap["order_sorts"] == 2
+        svc.close()
+
+
+class TestAsyncWarmStart:
+    def test_async_service_preloads_and_keeps_async_stats(self, tmp_path):
+        relations, query = make_problem(n=2, size=40)
+        persist_all(relations, tmp_path, shards=1)
+        durable = open_all(relations, tmp_path)
+        cold = AsyncRankJoinService(
+            durable, SCORING, k=4, seed=3, result_cache_size=0
+        )
+        [ref] = cold.serve([query])
+        assert cold.stats.catalog_order_writes == 2
+        cold.close()
+        for r in durable:
+            r.close()
+        durable2 = open_all(relations, tmp_path)
+        warm = AsyncRankJoinService(
+            durable2, SCORING, k=4, seed=3, result_cache_size=0
+        )
+        # Warm-start counters landed on the *async* stats object (the
+        # constructor must not replace stats after preloading).
+        assert isinstance(warm.stats, AsyncServiceStats)
+        assert warm.stats.orders_warm_loaded == 2
+        [res] = warm.serve([query])
+        assert result_sig(res) == result_sig(ref)
+        assert warm.stats.order_sorts == 0
+        warm.close()
+        for r in durable2:
+            r.close()

@@ -89,6 +89,13 @@ class TestExamples:
         assert "certified" in out
         assert "tight bound" in out and "corner bound" in out
 
+    def test_durable_service(self, capsys):
+        run_example("durable_service.py")
+        out = capsys.readouterr().out
+        assert "zero re-sorts" in out
+        assert "bit-identical" in out
+        assert "catalog hit stats" in out
+
     def test_bound_kernel(self, capsys):
         run_example("bound_kernel.py")
         out = capsys.readouterr().out
