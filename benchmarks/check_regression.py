@@ -1,0 +1,99 @@
+"""Gate wall-clock regressions in the ``BENCH_core.json`` trajectory.
+
+Compares the *current* benchmark trajectory against a *baseline*
+snapshot (typically the committed ``BENCH_core.json``, copied aside
+before the benchmark run overwrites it) and fails when any record whose
+name matches ``--pattern`` got slower than ``--threshold`` times its
+baseline wall.
+
+Records are only compared when both sides ran the same workload size:
+the conftest tags quick-mode records with ``"quick": true``, and a
+quick CI wall against a committed full-size wall would compare
+apples to oranges — those pairs are listed as skipped instead.  To keep
+the gate from passing vacuously, ``--require`` (on by default) fails
+when the current trajectory contains *no* record matching the pattern
+at all, so a benchmark suite that silently stopped recording trips CI
+even when every comparison was skipped.
+
+Usage (the CI bound-kernel job)::
+
+    cp BENCH_core.json /tmp/BENCH_baseline.json
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_bound_kernel.py ...
+    python benchmarks/check_regression.py \
+        --baseline /tmp/BENCH_baseline.json --current BENCH_core.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import sys
+
+
+def load_records(path: str) -> dict[str, dict]:
+    with open(path) as fh:
+        data = json.load(fh)
+    return {r["name"]: r for r in data.get("records", [])}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="baseline trajectory JSON (committed snapshot)")
+    parser.add_argument("--current", required=True,
+                        help="current trajectory JSON (after the bench run)")
+    parser.add_argument("--pattern", default="bound_kernel[*",
+                        help="fnmatch pattern of record names to gate "
+                             "(default: %(default)r)")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="fail when current wall > threshold * baseline "
+                             "wall (default: %(default)s)")
+    parser.add_argument("--no-require", dest="require", action="store_false",
+                        help="allow a current trajectory with no matching "
+                             "records (default: at least one is required)")
+    args = parser.parse_args(argv)
+
+    baseline = load_records(args.baseline)
+    current = load_records(args.current)
+
+    matched = {
+        name: rec for name, rec in current.items()
+        if fnmatch.fnmatch(name, args.pattern)
+    }
+    if args.require and not matched:
+        print(f"FAIL: no current record matches {args.pattern!r} — "
+              f"the benchmark suite stopped recording")
+        return 1
+
+    failures = []
+    for name in sorted(matched):
+        cur = matched[name]
+        base = baseline.get(name)
+        if base is None:
+            print(f"  new      {name}: {cur['wall_seconds']:.3f}s "
+                  f"(no baseline)")
+            continue
+        if bool(base.get("quick")) != bool(cur.get("quick")):
+            print(f"  skipped  {name}: workload size differs "
+                  f"(baseline quick={bool(base.get('quick'))}, "
+                  f"current quick={bool(cur.get('quick'))})")
+            continue
+        b, c = base["wall_seconds"], cur["wall_seconds"]
+        ratio = c / b if b > 0 else float("inf")
+        verdict = "FAIL" if ratio > args.threshold else "ok"
+        print(f"  {verdict:<8} {name}: {c:.3f}s vs baseline {b:.3f}s "
+              f"({ratio:.2f}x, threshold {args.threshold}x)")
+        if ratio > args.threshold:
+            failures.append(name)
+
+    if failures:
+        print(f"FAIL: {len(failures)} record(s) regressed past "
+              f"{args.threshold}x: {', '.join(failures)}")
+        return 1
+    print(f"ok: {len(matched)} record(s) checked against {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,7 @@ def _build(
     adaptive: bool,
     dominance_period: int | None,
     batch_kernel: bool,
+    incremental: bool,
     bound_period: int,
     pull_block: int,
     use_index: bool,
@@ -48,7 +49,11 @@ def _build(
     should_stop,
 ) -> ProxRJ:
     bound = (
-        TightBound(dominance_period=dominance_period, batch_kernel=batch_kernel)
+        TightBound(
+            dominance_period=dominance_period,
+            batch_kernel=batch_kernel,
+            incremental=incremental,
+        )
         if tight
         else CornerBound()
     )
@@ -90,7 +95,7 @@ def cbrr(
     return _build(
         relations, scoring, query, k,
         kind=kind, tight=False, adaptive=False,
-        dominance_period=None, batch_kernel=True,
+        dominance_period=None, batch_kernel=True, incremental=True,
         bound_period=bound_period, pull_block=pull_block,
         use_index=use_index, vectorise=vectorise,
         stream_factory=stream_factory, max_pulls=max_pulls,
@@ -117,7 +122,7 @@ def cbpa(
     return _build(
         relations, scoring, query, k,
         kind=kind, tight=False, adaptive=True,
-        dominance_period=None, batch_kernel=True,
+        dominance_period=None, batch_kernel=True, incremental=True,
         bound_period=bound_period, pull_block=pull_block,
         use_index=use_index, vectorise=vectorise,
         stream_factory=stream_factory, max_pulls=max_pulls,
@@ -134,6 +139,7 @@ def tbrr(
     kind: AccessKind = AccessKind.DISTANCE,
     dominance_period: int | None = None,
     batch_kernel: bool = True,
+    incremental: bool = True,
     bound_period: int = 1,
     pull_block: int = 1,
     use_index: bool = False,
@@ -145,13 +151,15 @@ def tbrr(
     """Tight bound + round-robin (instance-optimal).
 
     ``batch_kernel=False`` pins the scalar per-subset/per-candidate bound
-    path — the reference the batched bound kernel is differenced against.
+    path — the reference the batched bound kernel is differenced against;
+    ``incremental=False`` keeps the batched kernel memoryless across
+    refreshes (results are bit-identical in all three modes).
     """
     return _build(
         relations, scoring, query, k,
         kind=kind, tight=True, adaptive=False,
         dominance_period=dominance_period, batch_kernel=batch_kernel,
-        bound_period=bound_period,
+        incremental=incremental, bound_period=bound_period,
         pull_block=pull_block, use_index=use_index, vectorise=vectorise,
         stream_factory=stream_factory, max_pulls=max_pulls,
         should_stop=should_stop,
@@ -167,6 +175,7 @@ def tbpa(
     kind: AccessKind = AccessKind.DISTANCE,
     dominance_period: int | None = None,
     batch_kernel: bool = True,
+    incremental: bool = True,
     bound_period: int = 1,
     pull_block: int = 1,
     use_index: bool = False,
@@ -178,13 +187,15 @@ def tbpa(
     """Tight bound + potential-adaptive (the paper's best algorithm).
 
     ``batch_kernel=False`` pins the scalar per-subset/per-candidate bound
-    path — the reference the batched bound kernel is differenced against.
+    path — the reference the batched bound kernel is differenced against;
+    ``incremental=False`` keeps the batched kernel memoryless across
+    refreshes (results are bit-identical in all three modes).
     """
     return _build(
         relations, scoring, query, k,
         kind=kind, tight=True, adaptive=True,
         dominance_period=dominance_period, batch_kernel=batch_kernel,
-        bound_period=bound_period,
+        incremental=incremental, bound_period=bound_period,
         pull_block=pull_block, use_index=use_index, vectorise=vectorise,
         stream_factory=stream_factory, max_pulls=max_pulls,
         should_stop=should_stop,

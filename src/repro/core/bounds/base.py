@@ -107,6 +107,18 @@ class BoundCounters:
     #: bound once per block, the bound only changes once per refresh).
     potential_consults: int = 0
     potential_evals: int = 0
+    #: Incremental-dominance reuse: candidates answered by a cached
+    #: witness still satisfying every constraint, by an unchanged capped
+    #: competitor set (LP skipped), or by within-pass byte-dedup; subsets
+    #: whose whole pass was provably redundant; and the warm/cold pivot
+    #: split of the LPs that did run (warm = started from a cached
+    #: optimal basis).
+    dominance_witness_hits: int = 0
+    dominance_lp_reused: int = 0
+    dominance_lp_deduped: int = 0
+    dominance_subset_skips: int = 0
+    lp_warm_pivots: int = 0
+    lp_cold_pivots: int = 0
     bound_seconds: float = 0.0
     dominance_seconds: float = 0.0
     #: Wall-clock inside the LP/QP solver kernels proper — the share of
@@ -124,6 +136,12 @@ class BoundCounters:
             "entries_dominated": self.entries_dominated,
             "potential_consults": self.potential_consults,
             "potential_evals": self.potential_evals,
+            "dominance_witness_hits": self.dominance_witness_hits,
+            "dominance_lp_reused": self.dominance_lp_reused,
+            "dominance_lp_deduped": self.dominance_lp_deduped,
+            "dominance_subset_skips": self.dominance_subset_skips,
+            "lp_warm_pivots": self.lp_warm_pivots,
+            "lp_cold_pivots": self.lp_cold_pivots,
             "bound_seconds": self.bound_seconds,
             "dominance_seconds": self.dominance_seconds,
             "solver_seconds": self.solver_seconds,

@@ -47,6 +47,8 @@ partial combination is never flagged dominated.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
 from repro.optim.simplex import (
@@ -54,7 +56,13 @@ from repro.optim.simplex import (
     polyhedron_feasible_point_batch,
 )
 
-__all__ = ["dominated_mask", "dominated_mask_batch", "dominance_lp_problems"]
+__all__ = [
+    "dominated_mask",
+    "dominated_mask_batch",
+    "dominance_lp_problems",
+    "DominancePrep",
+    "prepare_dominance_pass",
+]
 
 _MAX_LP_CONSTRAINTS = 64
 _WITNESS_TOL = 1e-9
@@ -66,19 +74,22 @@ def _witness_prepass(
     already_dominated: np.ndarray,
     quad_coeff: float,
     witnesses: np.ndarray | None,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None, int]:
     """Passes 0 and 1 (cached witnesses + unconstrained-optimum probes).
 
-    Returns ``(out, live, survivors, vals)``: the copied dominated mask,
-    the live candidate indices, the per-live-candidate survivor flags,
-    and the probe value matrix (``None`` when the pre-pass is disabled).
-    ``witnesses`` rows of certified survivors are updated in place.
+    Returns ``(out, live, survivors, vals, witness_hits)``: the copied
+    dominated mask, the live candidate indices, the per-live-candidate
+    survivor flags, the probe value matrix (``None`` when the pre-pass is
+    disabled), and the number of candidates certified by a *cached*
+    witness (pass 0 — the cross-pass reuse counter).  ``witnesses`` rows
+    of certified survivors are updated in place.
     """
     out = np.asarray(already_dominated, dtype=bool).copy()
     live = np.flatnonzero(~out)
     survivors = np.zeros(len(live), dtype=bool)
+    witness_hits = 0
     if len(live) < 2:
-        return out, live, survivors, None
+        return out, live, survivors, None, witness_hits
 
     b_live = bs[live]
     c_live = cs[live]
@@ -98,6 +109,7 @@ def _witness_prepass(
             )[:, 0]
             still_valid = own <= vals_w.min(axis=1) + _WITNESS_TOL
             survivors[np.flatnonzero(cached)[still_valid]] = True
+            witness_hits = int(still_valid.sum())
 
     # Pass 1: probe every candidate's unconstrained optimum
     # y_alpha = -b_alpha / a.  Every *winner at any probed point* is
@@ -120,30 +132,131 @@ def _witness_prepass(
             for pos in np.flatnonzero(new_winners):
                 witnesses[live[pos]] = ys[win_rows[pos]]
         survivors |= new_winners
-    return out, live, survivors, vals
+    return out, live, survivors, vals, witness_hits
 
 
-def _lp_problem(
+def _empty_i64(shape: tuple[int, ...]) -> np.ndarray:
+    return np.empty(shape, dtype=np.int64)
+
+
+@dataclass
+class DominancePrep:
+    """One subset's prepared dominance pass: pre-pass verdicts plus the
+    *identity* of every pending feasibility LP, assembly deferred.
+
+    ``alpha[k]`` is the global candidate index of pending problem ``k``
+    and ``comp[k]`` its ordered capped competitor row — together the
+    full identity of the LP given the subset's (immutable) ``b``/``c``
+    rows.  Because the subset's rows never change, any injective mapping
+    of them — their indices, or value-equality class ids — turns
+    ``(alpha, comp)`` rows into sound reuse keys: equal keys mean every
+    operand of the assembly is byte-identical, hence a byte-identical
+    ``(G, h)`` system and an identical verdict from the deterministic
+    kernel.  :meth:`assemble` materialises the block lazily, so
+    deduplicated and cache-answered candidates never pay assembly.
+    """
+
+    #: Copied dominated mask (pre-pass adds no new flags).
+    out: np.ndarray
+    #: Global candidate index per pending LP, shape ``(P,)``.
+    alpha: np.ndarray = field(default_factory=lambda: _empty_i64((0,)))
+    #: ``(P, width)`` ordered capped competitor rows (global indices).
+    comp: np.ndarray = field(default_factory=lambda: _empty_i64((0, 0)))
+    #: Class-collapsed mode only (``canon`` given): every pending
+    #: candidate (``owners_alpha``) and the row of ``alpha``/``comp``
+    #: holding its class's representative problem (``owners_class``).
+    owners_alpha: np.ndarray | None = None
+    owners_class: np.ndarray | None = None
+    #: Candidates certified by a cached cross-pass witness (pass 0).
+    witness_hits: int = 0
+    _bs: np.ndarray | None = None
+    _cs: np.ndarray | None = None
+
+    @property
+    def pending(self) -> list[int]:
+        """``alpha`` as a plain int list (scalar-loop convenience)."""
+        return self.alpha.tolist()
+
+    def assemble(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(G, h)`` half-space block of pending problem ``k``."""
+        a = self.alpha[k]
+        competitors = self.comp[k]
+        g = 2.0 * (self._bs[a] - self._bs[competitors])
+        h = self._cs[competitors] - self._cs[a]
+        return g, h
+
+
+def prepare_dominance_pass(
     bs: np.ndarray,
     cs: np.ndarray,
-    live: np.ndarray,
-    vals: np.ndarray | None,
-    pos: int,
-    max_lp_constraints: int,
-) -> tuple[np.ndarray, np.ndarray] | None:
-    """The feasibility-LP block of live candidate ``pos``: half-space
-    rows against its ``max_lp_constraints`` strongest competitors, or
-    ``None`` when there is no competitor."""
-    alpha = live[pos]
-    g_at_opt = vals[pos] if vals is not None else cs[live]
-    order = np.argsort(g_at_opt, kind="stable")
-    competitors = [live[q] for q in order if live[q] != alpha]
-    competitors = competitors[:max_lp_constraints]
-    if not competitors:
-        return None
-    g = 2.0 * (bs[alpha] - bs[competitors])
-    h = cs[competitors] - cs[alpha]
-    return g, h
+    already_dominated: np.ndarray,
+    *,
+    quad_coeff: float,
+    max_lp_constraints: int = _MAX_LP_CONSTRAINTS,
+    witnesses: np.ndarray | None = None,
+    canon: np.ndarray | None = None,
+) -> DominancePrep:
+    """Run the witness pre-pass and identify — without assembling — the
+    pending feasibility LPs of one subset (see :class:`DominancePrep`).
+
+    Shares the exact pre-pass of :func:`dominated_mask` (``witnesses``
+    updated in place identically); every public entry point below is a
+    thin wrapper over this.  The competitor extraction is one stable
+    row-wise argsort over all pending candidates (identical, row for
+    row, to the scalar loop's per-candidate sort).
+
+    ``canon`` (per-row value-equality class ids of the immutable
+    ``(b, c)`` rows) switches on *class collapse*: pending candidates of
+    the same class have byte-identical probe rows, hence identical
+    strength orderings, and their LP systems coincide up to the
+    self/twin swap — which assembles to an all-zero vacuous half-space
+    either way — plus, when a cross-class probe-value tie separates the
+    twins in the stable order, a permutation of the tied rows.  Either
+    way the representative's system is a capped subset of every owner's
+    own competitor constraints, so its "empty" verdict soundly transfers
+    (dropping or reordering constraints never flags a live candidate);
+    with ties confined to classes the systems are byte-identical.  Only
+    one representative per class is sorted and kept in
+    ``alpha``/``comp``; ``owners_alpha``/``owners_class`` map every
+    pending candidate back to its class's problem, so the caller solves
+    each class once and fans the verdict out.
+    """
+    bs = np.atleast_2d(np.asarray(bs, dtype=float))
+    cs = np.asarray(cs, dtype=float)
+    out, live, survivors, vals, witness_hits = _witness_prepass(
+        bs, cs, already_dominated, quad_coeff, witnesses
+    )
+    prep = DominancePrep(out=out, witness_hits=witness_hits, _bs=bs, _cs=cs)
+    num_live = len(live)
+    if num_live < 2:
+        return prep
+    pend = np.flatnonzero(~survivors)
+    if pend.size == 0:
+        return prep
+    if canon is not None:
+        owners = live[pend]
+        _, rep, inv = np.unique(
+            canon[owners], return_index=True, return_inverse=True
+        )
+        prep.owners_alpha = owners
+        prep.owners_class = inv.reshape(-1)
+        pend = pend[rep]
+    # Strength ordering per pending candidate (rows of the probe matrix;
+    # the c fallback when the pre-pass is disabled), self removed, capped.
+    if vals is not None:
+        at_opt = vals[pend]
+    else:
+        at_opt = np.broadcast_to(cs[live], (pend.size, num_live))
+    order = np.argsort(at_opt, axis=1, kind="stable")
+    cand = live[order]  # (P, num_live) global indices, strength order
+    alpha = live[pend]
+    self_col = (cand == alpha[:, None]).argmax(axis=1)
+    width = min(num_live - 1, max_lp_constraints)
+    cols = np.arange(width)
+    take = cols[None, :] + (cols[None, :] >= self_col[:, None])
+    prep.alpha = alpha
+    prep.comp = np.take_along_axis(cand, take, axis=1)
+    return prep
 
 
 def dominated_mask(
@@ -191,29 +304,24 @@ def dominated_mask(
         certainly empty (*including* those already flagged on input), and
         the number of feasibility LPs actually solved.
     """
-    bs = np.atleast_2d(np.asarray(bs, dtype=float))
-    cs = np.asarray(cs, dtype=float)
-    out, live, survivors, vals = _witness_prepass(
-        bs, cs, already_dominated, quad_coeff, witnesses
+    prep = prepare_dominance_pass(
+        bs,
+        cs,
+        already_dominated,
+        quad_coeff=quad_coeff,
+        max_lp_constraints=max_lp_constraints,
+        witnesses=witnesses,
     )
-    if len(live) < 2:
-        return out, 0
-
     # Pass 2: feasibility LP for the remaining candidates, against their
     # strongest competitors.
-    lp_count = 0
-    for pos in np.flatnonzero(~survivors):
-        problem = _lp_problem(bs, cs, live, vals, pos, max_lp_constraints)
-        if problem is None:
-            continue
-        g, h = problem
-        lp_count += 1
+    for k, alpha in enumerate(prep.pending):
+        g, h = prep.assemble(k)
         point = polyhedron_feasible_point(g, h)
         if point is None:
-            out[live[pos]] = True
+            prep.out[alpha] = True
         elif witnesses is not None:
-            witnesses[live[pos]] = point
-    return out, lp_count
+            witnesses[alpha] = point
+    return prep.out, len(prep.pending)
 
 
 def dominance_lp_problems(
@@ -241,19 +349,18 @@ def dominance_lp_problems(
         applies the verdicts: ``empty`` → ``out[candidate] = True``,
         non-empty → store the returned point in ``witnesses[candidate]``.
     """
-    bs = np.atleast_2d(np.asarray(bs, dtype=float))
-    cs = np.asarray(cs, dtype=float)
-    out, live, survivors, vals = _witness_prepass(
-        bs, cs, already_dominated, quad_coeff, witnesses
+    prep = prepare_dominance_pass(
+        bs,
+        cs,
+        already_dominated,
+        quad_coeff=quad_coeff,
+        max_lp_constraints=max_lp_constraints,
+        witnesses=witnesses,
     )
-    problems: list[tuple[int, np.ndarray, np.ndarray]] = []
-    if len(live) < 2:
-        return out, problems
-    for pos in np.flatnonzero(~survivors):
-        problem = _lp_problem(bs, cs, live, vals, pos, max_lp_constraints)
-        if problem is not None:
-            problems.append((int(live[pos]), *problem))
-    return out, problems
+    problems = [
+        (alpha, *prep.assemble(k)) for k, alpha in enumerate(prep.pending)
+    ]
+    return prep.out, problems
 
 
 def dominated_mask_batch(

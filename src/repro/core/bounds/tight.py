@@ -30,6 +30,13 @@ access), with the engineering refinements called out in DESIGN.md:
   call.  The kernels' row-stable arithmetic makes completed runs
   bit-identical to the scalar path (``batch_kernel=False``, the
   per-subset/per-candidate reference kept for the differential suite).
+* **Incremental dominance** (default, ``incremental=True``): the batched
+  dominance pass carries caches *across* refreshes — per-entry LP keys,
+  feasible points and optimal simplex bases, per-subset pass
+  fingerprints, per-entry QP active sets — so unchanged work is skipped,
+  duplicated work solved once, and the rest warm-started; every
+  mechanism is verdict-preserving (see ``_dominance_pass_batched``), so
+  runs stay bit-identical to both reference paths.
 * The scheme synchronises against the streams' seen prefixes, so the
   engine may invoke it only every ``bound_period`` pulls (the paper's
   practical-systems trade-off) and the incremental cross-product still
@@ -64,7 +71,10 @@ import numpy as np
 
 from repro.core.access import AccessKind
 from repro.core.bounds.base import NEG_INFINITY, BoundingScheme, EngineState
-from repro.core.bounds.dominance import dominance_lp_problems
+from repro.core.bounds.dominance import (
+    _MAX_LP_CONSTRAINTS,
+    prepare_dominance_pass,
+)
 from repro.core.bounds.geometry import (
     completion_geometry,
     dominance_coefficients_batch,
@@ -116,6 +126,14 @@ class _SubsetState:
         "b",
         "c",
         "witness",
+        "canon",
+        "canon_ids",
+        "lp_keys",
+        "lp_point",
+        "lp_basis",
+        "qp_active",
+        "pass_count",
+        "pass_newly",
     )
 
     def __init__(self, mask: int, n: int, d: int):
@@ -135,6 +153,27 @@ class _SubsetState:
         self.b = np.empty((cap, d))
         self.c = np.empty(cap)
         self.witness = np.full((cap, d), np.nan)
+        # Incremental-dominance caches (see TightBound's docstring): the
+        # value-equality class of each entry's immutable ``(b, c)`` row
+        # (assigned at append; two entries share an id iff their rows are
+        # byte-identical), the LP-problem identity key each entry's last
+        # verdict was computed for (a padded canon-id row — own class
+        # first, then the ordered capped competitor classes, -1 padding;
+        # all -2 = no cached verdict), the feasible point and optimal
+        # simplex basis of that solve, the last resolving QP active-set
+        # mask (-1 = none), and the field fingerprint of the last
+        # dominance pass (entry count + new flags) that licenses a full
+        # subset skip.
+        self.canon = np.full(cap, -1, dtype=np.int64)
+        self.canon_ids: dict[bytes, int] = {}
+        self.lp_keys = np.full(
+            (cap, _MAX_LP_CONSTRAINTS + 1), -2, dtype=np.int64
+        )
+        self.lp_point = np.full((cap, d), np.nan)
+        self.lp_basis: list[np.ndarray | None] = [None] * cap
+        self.qp_active = np.full(cap, -1, dtype=np.int64)
+        self.pass_count = -1
+        self.pass_newly = 0
 
     def _grow(self, needed: int) -> None:
         cap = len(self.t)
@@ -150,6 +189,10 @@ class _SubsetState:
             ("b", None),
             ("c", None),
             ("witness", np.nan),
+            ("canon", -1),
+            ("lp_keys", -2),
+            ("lp_point", np.nan),
+            ("qp_active", -1),
         ):
             old = getattr(self, name)
             fresh = (
@@ -159,6 +202,7 @@ class _SubsetState:
             )
             fresh[:p] = old[:p]
             setattr(self, name, fresh)
+        self.lp_basis.extend([None] * (cap - len(self.lp_basis)))
 
     def append(self, scores: np.ndarray, vecs: np.ndarray) -> int:
         """Append an entry batch; returns the first new row index."""
@@ -170,12 +214,19 @@ class _SubsetState:
         self.vecs[lo : lo + e] = vecs
         self.dominated[lo : lo + e] = False
         self.witness[lo : lo + e] = np.nan
+        # Rows may be reused after clear(): stale caches must not leak
+        # into new entries.
+        self.lp_keys[lo : lo + e] = -2
+        self.lp_basis[lo : lo + e] = [None] * e
+        self.qp_active[lo : lo + e] = -1
         self.count = lo + e
         return lo
 
     def clear(self) -> None:
         self.count = 0
         self.t_max = NEG_INFINITY
+        self.pass_count = -1
+        self.pass_newly = 0
 
     def recompute_max(self) -> None:
         cnt = self.count
@@ -212,16 +263,36 @@ class TightBound(BoundingScheme):
         dominance pass.  ``False`` keeps the per-subset / per-candidate
         scalar path — the reference the differential suite pins the
         kernel against (completed runs are bit-identical either way).
+    incremental:
+        ``True`` (default) makes the *batched* dominance pass incremental
+        across refreshes: subsets whose candidate field is provably
+        unchanged skip their pass outright, candidates whose capped
+        competitor tuple is unchanged reuse last pass's (non-empty)
+        verdict without re-solving, byte-identical LP systems within a
+        pass are solved once, and the LPs that do run are warm-started
+        from cached optimal bases and assembled through workspace-owned
+        gather plans; the masked QP kernel additionally tries each
+        entry's last resolving active set first.  Every mechanism is
+        verdict-preserving, so completed runs stay bit-identical to the
+        memoryless batched pass and the scalar reference.  ``False``
+        keeps the memoryless batched pass (the PR 5 baseline, used by
+        the benchmark's speedup denominator).  Ignored when
+        ``batch_kernel`` is off.
     """
 
     def __init__(
-        self, dominance_period: int | None = None, *, batch_kernel: bool = True
+        self,
+        dominance_period: int | None = None,
+        *,
+        batch_kernel: bool = True,
+        incremental: bool = True,
     ) -> None:
         super().__init__()
         if dominance_period is not None and dominance_period < 1:
             raise ValueError("dominance_period must be >= 1 (or None)")
         self.dominance_period = dominance_period
         self.batch_kernel = batch_kernel
+        self.incremental = incremental
         self._subsets: list[_SubsetState] | None = None
         self._synced: list[int] = []
         self._accesses = 0
@@ -414,6 +485,20 @@ class TightBound(BoundingScheme):
                     )
                     sub.b[lo : lo + e_new] = bs
                     sub.c[lo : lo + e_new] = cs
+                    if gathered and self.incremental:
+                        # Canonical value-equality ids for the new rows:
+                        # duplicate pulls (tie-heavy streams) produce
+                        # byte-identical (b, c) rows, which share an id
+                        # and make the pass's reuse keys cheap integers.
+                        ids = sub.canon_ids
+                        canon = sub.canon
+                        for r in range(e_new):
+                            kb = bs[r].tobytes() + cs[r].tobytes()
+                            cid = ids.get(kb)
+                            if cid is None:
+                                cid = len(ids)
+                                ids[kb] = cid
+                            canon[lo + r] = cid
                 self.counters.qp_solves += e_new
                 self.counters.entries_created += e_new
 
@@ -511,12 +596,16 @@ class TightBound(BoundingScheme):
         fixed_mask, fixed_vals, lower_mask, lower_vals = ws.qp_slabs(total, n)
         score_term = ws.array("qp_score_term", (total,))
         residual_sq = ws.array("qp_residual_sq", (total,))
+        incremental = self.incremental
+        hints = ws.array("qp_hints", (total,), np.int64) if incremental else None
 
         chunks: list[_QPChunk] = []
         offset = 0
         for sub, rows in pending:
             e = len(rows)
             span = slice(offset, offset + e)
+            if hints is not None:
+                hints[span] = sub.qp_active[rows]
             proj, res_sq, s_term = completion_geometry(
                 scoring,
                 query,
@@ -539,14 +628,22 @@ class TightBound(BoundingScheme):
 
         h = spread_matrix(n, scoring.w_q, scoring.w_mu)
         started = time.perf_counter()
-        qp_vals, thetas = solve_bound_qp_masked(
-            h, fixed_mask, fixed_vals, lower_mask, lower_vals
-        )
+        if incremental:
+            qp_vals, thetas, active = solve_bound_qp_masked(
+                h, fixed_mask, fixed_vals, lower_mask, lower_vals,
+                hints=hints, return_active=True,
+            )
+        else:
+            qp_vals, thetas = solve_bound_qp_masked(
+                h, fixed_mask, fixed_vals, lower_mask, lower_vals
+            )
         self.counters.solver_seconds += time.perf_counter() - started
         values = score_term - qp_vals - (scoring.w_q + scoring.w_mu) * residual_sq
         for chunk in chunks:
             chunk.sub.t[chunk.rows] = values[chunk.span]
             chunk.sub.theta[chunk.rows] = thetas[chunk.span]
+            if incremental:
+                chunk.sub.qp_active[chunk.rows] = active[chunk.span]
 
     def _dominance_pass(
         self, scoring: QuadraticFormScoring, n: int, subsets: list[_SubsetState]
@@ -573,19 +670,22 @@ class TightBound(BoundingScheme):
             before = sub.dominated[:cnt].copy()
             # The pre-pass updates the witness rows in place, so cached
             # non-emptiness certificates persist across passes.
-            out, problems = dominance_lp_problems(
+            prep = prepare_dominance_pass(
                 sub.b[:cnt], sub.c[:cnt], before,
                 quad_coeff=quad, witnesses=sub.witness[:cnt],
             )
+            self.counters.dominance_witness_hits += prep.witness_hits
+            out = prep.out
             lp_started = time.perf_counter()
-            for alpha, g, h in problems:
+            for k, alpha in enumerate(prep.pending):
+                g, h = prep.assemble(k)
                 point = polyhedron_feasible_point(g, h)
                 if point is None:
                     out[alpha] = True
                 else:
                     sub.witness[alpha] = point
             self.counters.solver_seconds += time.perf_counter() - lp_started
-            self.counters.lp_solves += len(problems)
+            self.counters.lp_solves += len(prep.pending)
             newly = out & ~sub.dominated[:cnt]
             self.counters.entries_dominated += int(newly.sum())
             sub.dominated[:cnt] = out
@@ -601,48 +701,177 @@ class TightBound(BoundingScheme):
         """Batched dominance pass: shared witness pre-pass per subset,
         then every subset's surviving feasibility LPs solved through one
         lockstep kernel call (the kernel groups and stacks the ``G/h``
-        blocks by constraint count)."""
+        blocks by constraint count).
+
+        With ``incremental`` (the default), four verdict-preserving
+        reuse layers run in front of and inside the kernel call:
+
+        * **subset skip** — a subset whose last pass saw the same entry
+          count *and* flagged nothing new has a bit-identical candidate
+          field (entries are append-only and their ``b``/``c`` rows
+          immutable), so every verdict would repeat; the whole pass is
+          skipped.  Count alone is not enough: a shrinking live set can
+          pull weaker competitors into the capped LPs and flip verdicts.
+        * **key reuse** — a pending candidate whose LP-problem key row
+          (its canonical ``(b, c)`` class plus the ordered capped
+          competitor classes) equals its cached ``lp_keys`` row would
+          rebuild a bit-identical ``(G, h)`` system; the deterministic
+          kernel would repeat last pass's (necessarily non-empty —
+          empty means flagged forever) verdict, so the cached feasible
+          point is restored without solving.  One array comparison per
+          subset answers every candidate at once.
+        * **key dedup** — within the pass, candidates of one subset with
+          equal LP-problem key rows have byte-identical ``(G, h)``
+          systems (every assembly operand is byte-identical — tie-heavy
+          streams produce exact twins), so one row-unique call per
+          subset picks the systems to assemble and solve, and the
+          verdict is fanned out to every owner.
+        * **warm starts + plans** — the LPs that remain are warm-started
+          from cached optimal bases (stale bases fall back to the
+          bit-identical cold start) and assembled through the
+          workspace's :meth:`~repro.core.bounds.workspace.BoundWorkspace.lp_plan`
+          slabs.
+        """
         start = time.perf_counter()
+        incremental = self.incremental
+        ws = self._workspace(state) if incremental else None
         scatter: list[tuple[_SubsetState, int, np.ndarray]] = []
-        problems: list[tuple[_SubsetState, int, np.ndarray, np.ndarray]] = []
+        gs: list[np.ndarray] = []
+        hs: list[np.ndarray] = []
+        owners: list[tuple[_SubsetState, int]] = []
+        fanouts: list[tuple] = []
+        warm_bases: list[np.ndarray | None] = []
         for sub in subsets:
             if sub.dead or not sub.members:
                 continue
             cnt = sub.count
             if cnt - int(sub.dominated[:cnt].sum()) < 2:
                 continue
+            if incremental and sub.pass_count == cnt and sub.pass_newly == 0:
+                self.counters.dominance_subset_skips += 1
+                continue
             m = len(sub.members)
             quad = scoring.w_q * (n - m) + scoring.w_mu * (m / n) * (n - m)
             before = sub.dominated[:cnt].copy()
-            out, sub_problems = dominance_lp_problems(
+            prep = prepare_dominance_pass(
                 sub.b[:cnt], sub.c[:cnt], before,
                 quad_coeff=quad, witnesses=sub.witness[:cnt],
+                canon=sub.canon[:cnt] if incremental else None,
             )
-            scatter.append((sub, cnt, out))
-            for alpha, g, h in sub_problems:
-                problems.append((sub, alpha, g, h))
+            self.counters.dominance_witness_hits += prep.witness_hits
+            scatter.append((sub, cnt, prep.out))
+            alpha = prep.alpha
+            if alpha.size == 0:
+                continue
+            if not incremental:
+                for k in range(alpha.size):
+                    g, h = prep.assemble(k)
+                    gs.append(g)
+                    hs.append(h)
+                    owners.append((sub, int(alpha[k])))
+                    warm_bases.append(None)
+                continue
+            # Class-collapsed front end: ``prep.alpha``/``prep.comp``
+            # hold one representative problem per value-equality class;
+            # every pending candidate owns one class.  Key rows (own
+            # class first, then the ordered capped competitor classes)
+            # answer cross-pass reuse with one pad-aware array
+            # comparison (pad/-2 rows can never match: classes are
+            # >= 0, so one column past the key detects width drift).
+            comp = prep.comp
+            width = comp.shape[1]
+            canon = sub.canon
+            n_cls = alpha.size
+            keys_u = np.empty((n_cls, width + 1), dtype=np.int64)
+            keys_u[:, 0] = canon[alpha]
+            keys_u[:, 1:] = canon[comp]
+            own = prep.owners_alpha
+            own_cls = prep.owners_class
+            keys = keys_u[own_cls]
+            cached = sub.lp_keys[own]
+            reuse = (cached[:, : width + 1] == keys).all(axis=1)
+            if width + 1 < cached.shape[1]:
+                reuse &= cached[:, width + 1] == -1
+            if reuse.any():
+                hit = own[reuse]
+                sub.witness[hit] = sub.lp_point[hit]
+                self.counters.dominance_lp_reused += int(reuse.sum())
+            rest = np.flatnonzero(~reuse)
+            if rest.size == 0:
+                continue
+            # Solve each class still owed a verdict exactly once.
+            need = np.zeros(n_cls, dtype=bool)
+            need[own_cls[rest]] = True
+            sel = np.flatnonzero(need)
+            slot_of = np.full(n_cls, -1, dtype=np.int64)
+            slot_of[sel] = len(gs) + np.arange(sel.size)
+            for u in sel:
+                g, h = prep.assemble(int(u))
+                gs.append(g)
+                hs.append(h)
+                warm_bases.append(sub.lp_basis[int(alpha[u])])
+            self.counters.dominance_lp_deduped += int(rest.size - sel.size)
+            fanouts.append(
+                (sub, own[rest], slot_of[own_cls[rest]], keys[rest], width)
+            )
 
-        if problems:
+        if gs:
             # One ragged lockstep call for every subset's surviving LPs;
             # the kernel groups by constraint count and stacks the
-            # blocks itself.
+            # blocks itself (into the workspace's plans when incremental).
+            stats: dict[str, int] = {}
             started = time.perf_counter()
-            points, empty = polyhedron_feasible_point_batch(
-                [g for _, _, g, _ in problems], [h for _, _, _, h in problems]
-            )
+            if incremental:
+                points, empty, bases_out = polyhedron_feasible_point_batch(
+                    gs, hs, bases=warm_bases, return_bases=True,
+                    stats=stats, workspace=ws,
+                )
+            else:
+                points, empty = polyhedron_feasible_point_batch(gs, hs)
+                bases_out = None
             self.counters.solver_seconds += time.perf_counter() - started
-            self.counters.lp_solves += len(problems)
+            self.counters.lp_solves += len(gs)
+            self.counters.lp_warm_pivots += stats.get("lp_warm_pivots", 0)
+            self.counters.lp_cold_pivots += stats.get("lp_cold_pivots", 0)
             out_of = {id(sub): out for sub, _, out in scatter}
-            for slot, (sub, alpha, _, _) in enumerate(problems):
+            # Memoryless scatter: one owner per problem, in gs order.
+            for slot, (sub, a) in enumerate(owners):
                 if empty[slot]:
-                    out_of[id(sub)][alpha] = True
+                    out_of[id(sub)][a] = True
                 else:
-                    sub.witness[alpha] = points[slot]
+                    sub.witness[a] = points[slot]
+            # Incremental scatter: fan each solved system's verdict out
+            # to every owner and refresh the per-entry caches, all with
+            # array indexing (``slots`` maps owners to their unique
+            # solved problem).
+            for sub, own, slots, key_rows, width in fanouts:
+                out = out_of[id(sub)]
+                emptied = empty[slots]
+                if emptied.any():
+                    out[own[emptied]] = True
+                    sub.lp_keys[own[emptied]] = -2
+                ok = ~emptied
+                if ok.any():
+                    a_ok = own[ok]
+                    p_ok = points[slots[ok]]
+                    sub.witness[a_ok] = p_ok
+                    sub.lp_point[a_ok] = p_ok
+                    rows = np.full(
+                        (a_ok.size, sub.lp_keys.shape[1]), -1, np.int64
+                    )
+                    rows[:, : width + 1] = key_rows[ok]
+                    sub.lp_keys[a_ok] = rows
+                    for a, s in zip(a_ok, slots[ok]):
+                        sub.lp_basis[int(a)] = bases_out[int(s)]
 
         for sub, cnt, out in scatter:
             newly = out & ~sub.dominated[:cnt]
-            self.counters.entries_dominated += int(newly.sum())
+            n_newly = int(newly.sum())
+            self.counters.entries_dominated += n_newly
             sub.dominated[:cnt] = out
+            if incremental:
+                sub.pass_count = cnt
+                sub.pass_newly = n_newly
         self.counters.dominance_seconds += time.perf_counter() - start
 
     # -- score access (Algorithm 3) -------------------------------------------

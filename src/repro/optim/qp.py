@@ -327,7 +327,8 @@ def _solve_pattern(
     lower_idx: list[int],
     lower_vals: np.ndarray,
     uncon_idx: list[int],
-) -> tuple[np.ndarray, np.ndarray]:
+    hint_masks: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Solve every entry of one fixed/lower *pattern* group.
 
     All entries pin the coordinates ``fixed_idx`` (values per entry, rows
@@ -343,6 +344,19 @@ def _solve_pattern(
     for any join this library targets.  All arithmetic is row-stable
     (module docstring), so each entry reproduces the scalar
     :func:`solve_bound_qp` bit for bit.
+
+    ``hint_masks`` (optional, per entry; ``-1`` = no hint) reorders the
+    candidate enumeration to try the most common hinted active sets
+    first — the cross-pass carry of the incremental dominance front end,
+    where most entries re-resolve to last refresh's active set on the
+    first try.  The KKT acceptance test is unchanged, and the strictly
+    convex QP has a unique optimum, so the answer does not depend on the
+    enumeration order.
+
+    Returns ``(values, thetas, resolved_masks)`` — the third array holds
+    each entry's resolving active-set bitmask over the *sorted*
+    ``lower_idx`` (entries never resolved keep the safe fully-clamped
+    default, whose mask is all-active).
     """
     n = h.shape[0]
     fixed_idx = sorted(fixed_idx)
@@ -355,7 +369,7 @@ def _solve_pattern(
     if fixed_idx:
         thetas[:, fixed_idx] = fixed_vals
     if not free:
-        return _quad_values(h, thetas), thetas
+        return _quad_values(h, thetas), thetas, np.zeros(num_entries, np.int64)
 
     q = h[np.ix_(free, free)]
     if fixed_idx:
@@ -370,7 +384,16 @@ def _solve_pattern(
     if bounded:
         best_z[:, bounded] = lower_vals
     resolved = np.zeros(num_entries, dtype=bool)
-    for mask in range(1 << f):
+    resolved_masks = np.full(num_entries, (1 << f) - 1, dtype=np.int64)
+    order = range(1 << f)
+    if hint_masks is not None and f:
+        valid = hint_masks[(hint_masks >= 0) & (hint_masks < (1 << f))]
+        if valid.size:
+            uniq, counts = np.unique(valid, return_counts=True)
+            preferred = [int(m) for m in uniq[np.argsort(-counts, kind="stable")]]
+            hinted = set(preferred)
+            order = preferred + [m for m in range(1 << f) if m not in hinted]
+    for mask in order:
         act_cols = [k for k in range(f) if mask >> k & 1]
         active = [bounded[k] for k in act_cols]
         solve_pos = [p for p in range(len(free)) if p not in set(active)]
@@ -399,11 +422,12 @@ def _solve_pattern(
             ok &= (grad[:, active] >= -_TOL).all(axis=1)
         if ok.any():
             best_z[ok] = z[ok]
+            resolved_masks[ok] = mask
             resolved |= ok
         if resolved.all():
             break
     thetas[:, free] = best_z
-    return _quad_values(h, thetas), thetas
+    return _quad_values(h, thetas), thetas, resolved_masks
 
 
 def solve_bound_qp_batch(
@@ -443,7 +467,7 @@ def solve_bound_qp_batch(
         raise ValueError("fixed_idx and lower_idx must partition range(n)")
     if fixed_vals.shape[1] != len(fixed_idx):
         raise ValueError("fixed_vals width must match fixed_idx")
-    return _solve_pattern(
+    values, thetas, _ = _solve_pattern(
         h,
         list(fixed_idx),
         fixed_vals,
@@ -451,6 +475,7 @@ def solve_bound_qp_batch(
         np.broadcast_to(lower_vals, (num_entries, f)),
         [],
     )
+    return values, thetas
 
 
 def solve_bound_qp_masked(
@@ -459,7 +484,10 @@ def solve_bound_qp_masked(
     fixed_vals: np.ndarray,
     lower_mask: np.ndarray,
     lower_vals: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray]:
+    *,
+    hints: np.ndarray | None = None,
+    return_active: bool = False,
+):
     """The batched bound kernel: stacked bound QPs of *mixed* patterns.
 
     One call solves ``B`` instances of the :func:`solve_bound_qp` problem
@@ -480,10 +508,19 @@ def solve_bound_qp_masked(
         ``(B, n)`` boolean pattern and per-entry lower bounds, read only
         where ``lower_mask`` is set.  Coordinates in neither mask are
         unconstrained.
+    hints:
+        Optional ``(B,)`` int64 active-set hints: bit ``j`` set means
+        coordinate ``j``'s lower bound was active when this entry was
+        last solved; ``-1`` = no hint.  Hints only reorder each group's
+        candidate enumeration (most common hinted sets first) — the
+        unique KKT-certified optimum is unchanged.
+    return_active:
+        Also return the per-entry resolving active sets in the same
+        coordinate-bitmask encoding, for caching into a later ``hints``.
 
     Returns
     -------
-    (values, thetas):
+    (values, thetas) or (values, thetas, active):
         ``values[b] = theta_b' H theta_b`` and the optima ``(B, n)``.
 
     Notes
@@ -515,6 +552,7 @@ def solve_bound_qp_masked(
 
     values = np.empty(num_entries)
     thetas = np.empty((num_entries, n))
+    active_out = np.zeros(num_entries, dtype=np.int64) if return_active else None
     weights = 1 << np.arange(n, dtype=np.int64)
     keys = (fixed_mask @ weights) << n | (lower_mask @ weights)
     for key in np.unique(keys):
@@ -522,16 +560,34 @@ def solve_bound_qp_masked(
         fidx = np.flatnonzero(fixed_mask[rows[0]])
         lidx = np.flatnonzero(lower_mask[rows[0]])
         uidx = np.flatnonzero(~fixed_mask[rows[0]] & ~lower_mask[rows[0]])
-        vals, th = _solve_pattern(
+        hint_masks = None
+        if hints is not None and len(lidx):
+            # Coordinate bitmasks -> this group's local masks over the
+            # sorted lower positions (bit k of the local mask is
+            # coordinate lidx[k]); -1 stays "no hint".
+            hrows = np.asarray(hints, dtype=np.int64)[rows]
+            local = np.zeros(len(rows), dtype=np.int64)
+            for k, j in enumerate(lidx):
+                local |= ((hrows >> int(j)) & 1) << k
+            hint_masks = np.where(hrows >= 0, local, -1)
+        vals, th, act = _solve_pattern(
             h,
             [int(i) for i in fidx],
             fixed_vals[np.ix_(rows, fidx)],
             [int(i) for i in lidx],
             lower_vals[np.ix_(rows, lidx)],
             [int(i) for i in uidx],
+            hint_masks=hint_masks,
         )
         values[rows] = vals
         thetas[rows] = th
+        if return_active:
+            rel = np.zeros(len(rows), dtype=np.int64)
+            for k, j in enumerate(lidx):
+                rel |= ((act >> k) & 1) << int(j)
+            active_out[rows] = rel
+    if return_active:
+        return values, thetas, active_out
     return values, thetas
 
 

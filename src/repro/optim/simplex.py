@@ -32,6 +32,28 @@ the per-problem Python overhead of the scalar loop is paid once per
 is elementwise across the batch axis, each problem's pivot sequence — and
 hence its centre and radius — is bit-identical to a scalar
 :func:`chebyshev_center` call on the same data.
+
+Incremental extensions (the cross-pass dominance work):
+
+* Zero- and single-constraint problems are answered analytically — a
+  single half-space always admits the capped ball — without building a
+  tableau, in the scalar and batched paths alike.
+* :func:`chebyshev_center_batch` / :func:`polyhedron_feasible_point_batch`
+  accept ``bases=`` (per-problem starting bases cached from an earlier
+  solve of a similar problem).  A basis that is the wrong size, out of
+  range, singular or primal-infeasible for the *current* rows is
+  rejected and that problem takes the cold start **bit-identically**; a
+  valid basis is replayed (``B^{-1}[A|b]`` + reduced objective row) and
+  the lockstep simplex resumes from it, typically in a handful of
+  pivots.  Warm-started solves may differ from cold ones in the last
+  bits of the *centre* — like the scipy scalar path, only the emptiness
+  verdict (a robust sign test on the radius) is contract-bound.
+* ``workspace=`` routes the per-group stacking and the 3-D tableau
+  through :class:`ChebyGatherPlan` slabs (grow-only, owned by the
+  caller's :class:`~repro.core.bounds.workspace.BoundWorkspace`), so
+  steady-state dominance passes allocate no fresh gather buffers.
+* ``stats=`` accumulates ``lp_warm_pivots`` / ``lp_cold_pivots`` /
+  ``lp_warm_starts`` so callers can prove the reuse rate.
 """
 
 from __future__ import annotations
@@ -44,6 +66,7 @@ import numpy as np
 __all__ = [
     "LPStatus",
     "LPResult",
+    "ChebyGatherPlan",
     "simplex_standard_form",
     "solve_lp",
     "chebyshev_center",
@@ -229,6 +252,16 @@ def _cheby_tableau_meta(m: int, d: int) -> tuple[int, int, int]:
     return rows, 2 * d + 2 + rows, 2 * d
 
 
+def _single_row_center(
+    g: np.ndarray, h: np.ndarray, norms: np.ndarray, r_cap: float
+) -> np.ndarray:
+    """Analytic Chebyshev centre of a single half-space (post zero-row
+    strip, so ``norms[0] > 0``): the cap binds (``r* = r_cap``) and the
+    centre backs off along ``g`` until the constraint is tight.  Shared
+    by the scalar and batched paths so both produce the same bits."""
+    return g[0] * ((h[0] - norms[0] * r_cap) / (norms[0] * norms[0]))
+
+
 def chebyshev_center(
     g: np.ndarray, h: np.ndarray, *, r_cap: float = _R_CAP
 ) -> tuple[np.ndarray | None, float]:
@@ -264,6 +297,8 @@ def chebyshev_center(
         m = len(h)
         if m == 0:
             return np.zeros(d), r_cap
+    if m == 1:
+        return _single_row_center(g, h, norms, r_cap), float(r_cap)
     # Row equilibration (does not move the ratios h_i / ||g_i||).
     scale = np.abs(np.hstack([g, norms[:, None]])).max(axis=1)
     g = g / scale[:, None]
@@ -331,16 +366,19 @@ def _pivot_batch(
 
 def _run_simplex_batch(
     tab: np.ndarray, basis: np.ndarray, num_vars: int, max_iter: int
-) -> np.ndarray:
+) -> tuple[np.ndarray, np.ndarray]:
     """Lockstep :func:`_run_simplex` over stacked tableaus.
 
-    Returns the per-problem status vector (``_OPT`` / ``_UNB``)."""
+    Returns ``(status, pivots)``: the per-problem status vector
+    (``_OPT`` / ``_UNB``) and per-problem pivot counts (the raw material
+    of the ``lp_warm_pivots`` / ``lp_cold_pivots`` reuse counters)."""
     num_problems = tab.shape[0]
     status = np.full(num_problems, _RUNNING, dtype=np.int8)
+    pivots = np.zeros(num_problems, dtype=np.int64)
     for _ in range(max_iter):
         run = np.flatnonzero(status == _RUNNING)
         if run.size == 0:
-            return status
+            return status, pivots
         cost = tab[run, -1, :num_vars]
         neg = cost < -_TOL
         improving = neg.any(axis=1)
@@ -367,10 +405,118 @@ def _run_simplex_batch(
         eligible = ratios <= best[:, None] + _TOL
         cand = np.where(eligible, basis[run], _HUGE_BASIS)
         leaving = cand.argmin(axis=1)
+        pivots[run] += 1
         _pivot_batch(tab, basis, run, leaving, entering)
     if (status == _RUNNING).any():
         raise RuntimeError(f"simplex failed to converge in {max_iter} iterations")
-    return status
+    return status, pivots
+
+
+class ChebyGatherPlan:
+    """Precomputed stacking plan for one ``(m, d)`` constraint-count
+    group of a batched Chebyshev wave.
+
+    Owns no memory itself: the stacking buffers and the 3-D tableau are
+    named slabs of the *arena* (any object with a
+    ``array(name, shape, dtype, zero=)`` method — in the engine, the
+    run's :class:`~repro.core.bounds.workspace.BoundWorkspace`), so a
+    steady-state dominance pass re-fills grow-only memory instead of
+    allocating.  The tableau metadata and the identity block are
+    computed once per shape and reused every pass (plan-cache keying:
+    one plan per ``(m, d)``, cached by the workspace).
+    """
+
+    __slots__ = ("m", "d", "rows", "num_vars", "r_col", "eye", "_arena", "_tag")
+
+    def __init__(self, arena, m: int, d: int) -> None:
+        self.m = m
+        self.d = d
+        self.rows, self.num_vars, self.r_col = _cheby_tableau_meta(m, d)
+        self.eye = np.eye(self.rows)
+        self._arena = arena
+        self._tag = f"lp[{m}x{d}]"
+
+    def stacks(
+        self, count: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Slab-backed ``(g, h, norms)`` gather buffers for ``count``
+        problems of this shape."""
+        return (
+            self._arena.array(self._tag + ".g", (count, self.m, self.d)),
+            self._arena.array(self._tag + ".h", (count, self.m)),
+            self._arena.array(self._tag + ".norms", (count, self.m)),
+        )
+
+    def tableau(self, count: int) -> np.ndarray:
+        """A zeroed slab-backed lockstep tableau for ``count`` problems."""
+        return self._arena.array(
+            self._tag + ".tab",
+            (count, self.rows + 1, self.num_vars + 1),
+            zero=True,
+        )
+
+
+def _warm_replay(
+    tab: np.ndarray,
+    basis: np.ndarray,
+    bases: np.ndarray,
+    rows: int,
+    num_vars: int,
+) -> np.ndarray:
+    """Restart problems from cached bases where possible.
+
+    ``bases`` is ``(B, rows)`` int64 with negative entries marking "no
+    cached basis".  For each candidate the basis representation
+    ``B^{-1} [A | b]`` is rebuilt against the *current* tableau rows and
+    the reduced objective row is recomputed; a basis that is out of
+    range, singular, or primal-infeasible (negative basic rhs) is
+    rejected — the staleness rule — and that problem keeps the all-slack
+    tableau untouched, so its subsequent cold start is bit-identical to
+    never having had a basis.  Returns the mask of warm-started problems.
+
+    The replay uses BLAS (``np.linalg.solve``), so a warm-started
+    problem's optimum may differ from its cold solve in the last bits;
+    callers rely only on the robust emptiness verdict (same standing as
+    the scipy scalar path).
+    """
+    num_problems = tab.shape[0]
+    warm = np.zeros(num_problems, dtype=bool)
+    cand = np.flatnonzero(
+        (bases >= 0).all(axis=1) & (bases < num_vars).all(axis=1)
+    )
+    if cand.size == 0:
+        return warm
+    body = tab[cand][:, :rows, :]  # (W, rows, cols) copies
+    bmat = np.take_along_axis(body, bases[cand][:, None, :], axis=2)
+    try:
+        rep = np.linalg.solve(bmat, body)
+        ok = np.isfinite(rep).all(axis=(1, 2))
+    except np.linalg.LinAlgError:
+        rep = np.empty_like(body)
+        ok = np.zeros(cand.size, dtype=bool)
+        for k in range(cand.size):
+            try:
+                rep[k] = np.linalg.solve(bmat[k], body[k])
+                ok[k] = True
+            except np.linalg.LinAlgError:
+                pass
+    ok &= (rep[:, :, -1] >= -_TOL).all(axis=1)
+    good = cand[np.flatnonzero(ok)]
+    if good.size == 0:
+        return warm
+    rep = rep[ok]
+    # Reduced objective row: price out the basic columns, then zero them
+    # exactly (their reduced cost is 0 by definition; leaving roundoff
+    # there could re-admit a basic column as entering).
+    z = tab[good, -1, :]
+    coeff = np.take_along_axis(z, bases[good], axis=1)
+    z = z - np.einsum("wr,wrc->wc", coeff, rep)
+    np.put_along_axis(z, bases[good], 0.0, axis=1)
+    tab[good, :rows, :] = rep
+    tab[good, -1, :] = z
+    basis[good] = bases[good]
+    warm[good] = True
+    return warm
 
 
 def _cheby_solve_batch(
@@ -379,17 +525,25 @@ def _cheby_solve_batch(
     norms: np.ndarray,
     r_cap: float,
     max_iter: int = 10_000,
-) -> tuple[np.ndarray, np.ndarray]:
+    *,
+    bases: np.ndarray | None = None,
+    plan: ChebyGatherPlan | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Lockstep warm-started Chebyshev simplex on ``B`` stacked problems
     of a common constraint count.  ``g`` is ``(B, m, d)``, ``h`` and
     ``norms`` are ``(B, m)`` with every norm positive (zero rows removed
-    by the caller).  Returns ``(centers, radii)`` with NaN / ``-inf`` for
-    problems the scalar path would answer ``(None, -inf)``.
+    by the caller).  Returns ``(centers, radii, basis, pivots, warm)``
+    with NaN / ``-inf`` centre/radius for problems the scalar path would
+    answer ``(None, -inf)``; ``basis`` is the ``(B, rows)`` optimal basis
+    (cacheable for a later ``bases=`` warm start), ``pivots`` the
+    per-problem pivot counts and ``warm`` the basis-replay mask.
 
-    Construction, warm-start pivot and simplex iterations mirror
+    For cold problems (no ``bases`` row, or a stale one), construction,
+    warm-start pivot and simplex iterations mirror
     :func:`chebyshev_center` operation for operation across the batch
     axis (elementwise pivots, per-problem selection), so every problem is
-    bit-identical to its scalar solve.
+    bit-identical to its scalar solve.  Warm problems resume from the
+    replayed basis instead (see :func:`_warm_replay`).
     """
     num_problems, m, d = g.shape
     scale = np.abs(np.concatenate([g, norms[:, :, None]], axis=2)).max(axis=2)
@@ -398,14 +552,19 @@ def _cheby_solve_batch(
     h = h / scale
 
     rows, num_vars, r_col = _cheby_tableau_meta(m, d)
-    tab = np.zeros((num_problems, rows + 1, num_vars + 1))
+    if plan is not None:
+        tab = plan.tableau(num_problems)
+        eye = plan.eye
+    else:
+        tab = np.zeros((num_problems, rows + 1, num_vars + 1))
+        eye = np.eye(rows)
     tab[:, :m, :d] = g
     tab[:, :m, d : 2 * d] = -g
     tab[:, :m, r_col] = n_r
     tab[:, :m, r_col + 1] = -n_r
     tab[:, m, r_col] = 1.0
     tab[:, m, r_col + 1] = -1.0
-    tab[:, :rows, r_col + 2 : r_col + 2 + rows] = np.eye(rows)
+    tab[:, :rows, r_col + 2 : r_col + 2 + rows] = eye
     tab[:, :m, -1] = h
     tab[:, m, -1] = r_cap
     tab[:, -1, r_col] = -1.0
@@ -414,18 +573,24 @@ def _cheby_solve_batch(
         np.arange(r_col + 2, r_col + 2 + rows, dtype=np.int64),
         (num_problems, 1),
     )
-    denom = np.concatenate([n_r, np.ones((num_problems, 1))], axis=1)
-    ratios = tab[:, :rows, -1] / denom
-    i_star = ratios.argmin(axis=1)
-    start_col = np.where(
-        np.take_along_axis(ratios, i_star[:, None], axis=1)[:, 0] >= 0.0,
-        r_col,
-        r_col + 1,
+    warm = (
+        _warm_replay(tab, basis, bases, rows, num_vars)
+        if bases is not None
+        else np.zeros(num_problems, dtype=bool)
     )
-    _pivot_batch(
-        tab, basis, np.arange(num_problems), i_star, start_col.astype(np.int64)
-    )
-    statuses = _run_simplex_batch(tab, basis, num_vars, max_iter)
+    cold = np.flatnonzero(~warm)
+    if cold.size:
+        denom = np.concatenate([n_r[cold], np.ones((cold.size, 1))], axis=1)
+        ratios = tab[cold, :rows, -1] / denom
+        i_star = ratios.argmin(axis=1)
+        start_col = np.where(
+            np.take_along_axis(ratios, i_star[:, None], axis=1)[:, 0] >= 0.0,
+            r_col,
+            r_col + 1,
+        )
+        _pivot_batch(tab, basis, cold, i_star, start_col.astype(np.int64))
+    statuses, pivots = _run_simplex_batch(tab, basis, num_vars, max_iter)
+    pivots[cold] += 1  # the cold construction pivot
 
     x = np.zeros((num_problems, num_vars))
     rows_all = np.arange(num_problems)
@@ -436,12 +601,19 @@ def _cheby_solve_batch(
     failed = statuses != _OPT
     centers[failed] = np.nan
     radii[failed] = -np.inf
-    return centers, radii
+    return centers, radii, basis, pivots, warm
 
 
 def chebyshev_center_batch(
-    gs, hs, *, r_cap: float = _R_CAP
-) -> tuple[np.ndarray, np.ndarray]:
+    gs,
+    hs,
+    *,
+    r_cap: float = _R_CAP,
+    bases=None,
+    return_bases: bool = False,
+    stats: dict | None = None,
+    workspace=None,
+):
     """Lockstep :func:`chebyshev_center` over ``B`` polyhedra.
 
     Parameters
@@ -452,17 +624,37 @@ def chebyshev_center_batch(
         shape a dominance pass produces: constraint counts differ across
         subsets).  Problems are grouped by effective constraint count and
         each group is pivoted in lockstep.
+    bases:
+        Optional length-``B`` sequence of cached per-problem starting
+        bases (``None`` entries = no cache).  A basis whose length does
+        not match the problem's current post-strip row count, or that
+        fails the replay validity checks, is ignored — the problem cold
+        starts bit-identically (see :func:`_warm_replay`).
+    return_bases:
+        Also return the per-problem optimal bases (``None`` for problems
+        answered without a tableau), for caching into a later ``bases=``.
+    stats:
+        Optional dict accumulating ``lp_warm_starts`` /
+        ``lp_warm_pivots`` / ``lp_cold_pivots``.
+    workspace:
+        Optional arena owning :class:`ChebyGatherPlan` slabs (duck-typed:
+        needs ``lp_plan(m, d)``; the engine passes its
+        :class:`~repro.core.bounds.workspace.BoundWorkspace`).  With a
+        workspace, steady-state calls fill grow-only slabs instead of
+        allocating stack and tableau buffers per group.
 
     Returns
     -------
-    (centers, radii):
+    (centers, radii) or (centers, radii, bases_out):
         ``(B, d)`` and ``(B,)``.  A problem the scalar path would answer
         with ``(None, -inf)`` (zero-row infeasibility or numerical
         failure) gets a NaN centre row and ``-inf`` radius.
 
-    Every problem's answer is bit-identical to a scalar
-    :func:`chebyshev_center` call on the same ``(g, h)`` — the batch is
-    purely an execution strategy (see the module docstring).
+    Without ``bases``, every problem's answer is bit-identical to a
+    scalar :func:`chebyshev_center` call on the same ``(g, h)`` — the
+    batch is purely an execution strategy (see the module docstring).
+    Warm-started problems keep the identical emptiness *verdict* but may
+    differ in the centre's last bits.
     """
     problems = [
         (np.atleast_2d(np.asarray(g, dtype=float)), np.asarray(h, dtype=float))
@@ -470,10 +662,13 @@ def chebyshev_center_batch(
     ]
     num_problems = len(problems)
     if num_problems == 0:
+        if return_bases:
+            return np.zeros((0, 0)), np.zeros(0), []
         return np.zeros((0, 0)), np.zeros(0)
     d = problems[0][0].shape[1]
     centers = np.full((num_problems, d), np.nan)
     radii = np.full(num_problems, -np.inf)
+    bases_out: list[np.ndarray | None] = [None] * num_problems
 
     groups: dict[int, list[tuple[int, np.ndarray, np.ndarray, np.ndarray]]] = {}
     for i, (g, h) in enumerate(problems):
@@ -489,22 +684,56 @@ def chebyshev_center_batch(
             centers[i] = 0.0
             radii[i] = r_cap
             continue
+        if len(h) == 1:
+            # Trivially feasible: answered analytically, no tableau.
+            centers[i] = _single_row_center(g, h, norms, r_cap)
+            radii[i] = r_cap
+            continue
         groups.setdefault(len(h), []).append((i, g, h, norms))
 
     for m, items in groups.items():
+        count = len(items)
         idx = np.array([i for i, _, _, _ in items])
-        g_stack = np.empty((len(items), m, d))
-        h_stack = np.empty((len(items), m))
-        n_stack = np.empty((len(items), m))
+        plan = workspace.lp_plan(m, d) if workspace is not None else None
+        if plan is not None:
+            g_stack, h_stack, n_stack = plan.stacks(count)
+        else:
+            g_stack = np.empty((count, m, d))
+            h_stack = np.empty((count, m))
+            n_stack = np.empty((count, m))
         for k, (_, g, h, norms) in enumerate(items):
             g_stack[k] = g
             h_stack[k] = h
             n_stack[k] = norms
-        group_centers, group_radii = _cheby_solve_batch(
-            g_stack, h_stack, n_stack, r_cap
+        b_stack = None
+        if bases is not None:
+            group_rows = m + 1
+            b_stack = np.full((count, group_rows), -1, dtype=np.int64)
+            for k, (i, _, _, _) in enumerate(items):
+                cached = bases[i]
+                if cached is not None and len(cached) == group_rows:
+                    b_stack[k] = cached
+        group_centers, group_radii, group_basis, group_pivots, group_warm = (
+            _cheby_solve_batch(
+                g_stack, h_stack, n_stack, r_cap, bases=b_stack, plan=plan
+            )
         )
         centers[idx] = group_centers
         radii[idx] = group_radii
+        if return_bases:
+            for k, i in enumerate(idx):
+                bases_out[i] = group_basis[k].copy()
+        if stats is not None:
+            warm_n = int(group_warm.sum())
+            stats["lp_warm_starts"] = stats.get("lp_warm_starts", 0) + warm_n
+            stats["lp_warm_pivots"] = stats.get("lp_warm_pivots", 0) + int(
+                group_pivots[group_warm].sum()
+            )
+            stats["lp_cold_pivots"] = stats.get("lp_cold_pivots", 0) + int(
+                group_pivots[~group_warm].sum()
+            )
+    if return_bases:
+        return centers, radii, bases_out
     return centers, radii
 
 
@@ -551,6 +780,9 @@ def polyhedron_feasible_point(
         g, h, norms = g[~zero_rows], h[~zero_rows], norms[~zero_rows]
         if len(h) == 0:
             return np.zeros(g.shape[1] if g.size else 1)
+    if len(h) == 1:
+        # A single half-space is always non-empty: analytic centre, no LP.
+        return _single_row_center(g, h, norms, _R_CAP)
     linprog = _scipy_linprog()
     if linprog is not None:
         d = g.shape[1]
@@ -571,19 +803,29 @@ def polyhedron_feasible_point(
 
 
 def polyhedron_feasible_point_batch(
-    gs, hs, *, tol: float = 1e-7
-) -> tuple[np.ndarray, np.ndarray]:
+    gs,
+    hs,
+    *,
+    tol: float = 1e-7,
+    bases=None,
+    return_bases: bool = False,
+    stats: dict | None = None,
+    workspace=None,
+):
     """Batched :func:`polyhedron_feasible_point` over ``B`` polyhedra.
 
     Accepts stacked ``(B, m, d)`` / ``(B, m)`` arrays or ragged
-    per-problem sequences (see :func:`chebyshev_center_batch`).
+    per-problem sequences, plus the warm-start / plan keywords of
+    :func:`chebyshev_center_batch` (``bases`` / ``return_bases`` /
+    ``stats`` / ``workspace``), which are passed straight through.
 
     Returns
     -------
-    (points, empty):
+    (points, empty) or (points, empty, bases_out):
         ``points`` is ``(B, d)`` — the Chebyshev-centre witness per
         non-empty polyhedron, NaN rows where empty; ``empty`` is the
-        ``(B,)`` boolean emptiness verdict.
+        ``(B,)`` boolean emptiness verdict; ``bases_out`` (with
+        ``return_bases``) holds the cacheable per-problem optimal bases.
 
     Always the dense lockstep kernel: per problem, the point and verdict
     are bit-identical to the scalar dense path (:func:`chebyshev_center`
@@ -591,12 +833,24 @@ def polyhedron_feasible_point_batch(
     route through scipy's HiGHS instead, which returns a different (but
     equally valid) witness; the emptiness *verdicts* agree — both are
     robust sign tests on the same LP optimum — which is the invariant the
-    dominance pass relies on.
+    dominance pass relies on.  Warm-started problems (``bases``) keep the
+    same verdict standing: identical emptiness answer, possibly different
+    witness bits.
     """
-    centers, radii = chebyshev_center_batch(gs, hs)
+    result = chebyshev_center_batch(
+        gs,
+        hs,
+        bases=bases,
+        return_bases=return_bases,
+        stats=stats,
+        workspace=workspace,
+    )
+    centers, radii = result[0], result[1]
     empty = (radii < -tol) | np.isnan(centers).any(axis=1)
     points = centers.copy()
     points[empty] = np.nan
+    if return_bases:
+        return points, empty, result[2]
     return points, empty
 
 

@@ -1,0 +1,340 @@
+"""Soundness regression for the incremental dominance front end (PR 8).
+
+Properties pinned, layer by layer:
+
+* **Class collapse is byte-exact where ties stay within classes, and
+  verdict-exact everywhere** — with value-equality class ids
+  (``canon``), :func:`prepare_dominance_pass` keeps one representative
+  LP per class; its assembled ``(G, h)`` system is byte-identical to the
+  plain per-candidate assembly of *every* owner in the class (the
+  self/twin swap contributes an all-zero vacuous row either way) unless
+  a cross-class probe-value tie permutes rows between twins, and fanning
+  one verdict out to the whole class flags exactly the candidates the
+  memoryless pass flags in both regimes.
+* **Warm starts are verdict-preserving and stale-safe** — a cached LP
+  basis that is out of range, singular, or the wrong length is rejected
+  and the problem cold starts *bit-identically* to never having had a
+  basis; a valid basis may move a centre's last bits but never flips an
+  emptiness verdict.
+* **Trivial constraint counts skip the tableau soundly** — zero- and
+  single-constraint problems are answered analytically by the batch,
+  bit-identical to the scalar :func:`chebyshev_center`.
+* **QP hints are pure acceleration** — garbage or recycled active-set
+  hints reorder the enumeration only; values and optima stay bitwise
+  equal to the hint-free solve.
+* **Engine-level identity** — on tie-heavy workloads the incremental
+  strategy returns the same ranked answer, depths and bound as the
+  memoryless batched kernel and the scalar reference, while its reuse
+  counters actually fire.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AccessKind, EuclideanLogScoring, make_algorithm
+from repro.core.bounds.dominance import prepare_dominance_pass
+from repro.core.relation import Relation
+from repro.optim.qp import solve_bound_qp_masked
+from repro.optim.simplex import (
+    chebyshev_center,
+    chebyshev_center_batch,
+    polyhedron_feasible_point_batch,
+)
+
+
+def duplicated_family(rng, count, d, dup_frac=0.4, tie_free=False):
+    """A random ``(b, c)`` family where ``dup_frac`` of the rows are
+    exact byte-copies of earlier rows, plus the per-row value-equality
+    class ids the engine would assign at append time.  ``tie_free``
+    keeps ``c`` continuous so strength-order ties occur only *within*
+    duplicate classes; the default coarse rounding also ties distinct
+    classes (the adversarial tie-heavy regime)."""
+    bs = rng.normal(size=(count, d))
+    cs = rng.normal(size=count)
+    if not tie_free:
+        cs = np.round(cs, 1)  # coarse -> cross-class value ties too
+    n_dup = max(2, int(count * dup_frac))
+    src = rng.integers(0, count - n_dup, size=n_dup)
+    for k, s in enumerate(src):
+        bs[count - n_dup + k] = bs[s]
+        cs[count - n_dup + k] = cs[s]
+    ids: dict[bytes, int] = {}
+    canon = np.empty(count, dtype=np.int64)
+    for r in range(count):
+        key = bs[r].tobytes() + cs[r].tobytes()
+        canon[r] = ids.setdefault(key, len(ids))
+    return bs, cs, canon
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_class_collapse_assembly_byte_identical(seed):
+    """Every owner's class-representative (G, h) is byte-equal to the
+    plain assembly the memoryless path would have built for that owner —
+    guaranteed whenever strength-order ties stay within classes (twins
+    adjacent in the stable order; cross-class ties only permute rows,
+    covered by the verdict-level test below)."""
+    rng = np.random.default_rng(seed)
+    count = int(rng.integers(8, 40))
+    d = int(rng.integers(1, 4))
+    bs, cs, canon = duplicated_family(rng, count, d, tie_free=True)
+    already = np.zeros(count, dtype=bool)
+    # quad_coeff=0 disables the witness pre-pass: every live candidate is
+    # pending, so the collapse is exercised on the full family.
+    plain = prepare_dominance_pass(bs, cs, already, quad_coeff=0.0)
+    coll = prepare_dominance_pass(bs, cs, already, quad_coeff=0.0, canon=canon)
+
+    assert coll.owners_alpha is not None and coll.owners_class is not None
+    # Same pending set, just factored through class representatives.
+    assert np.array_equal(np.sort(coll.owners_alpha), np.sort(plain.alpha))
+    assert coll.alpha.size == len(np.unique(canon))
+    assert coll.alpha.size < plain.alpha.size  # duplicates were planted
+
+    plain_row = {int(a): k for k, a in enumerate(plain.alpha)}
+    for i, owner in enumerate(coll.owners_alpha):
+        g_rep, h_rep = coll.assemble(int(coll.owners_class[i]))
+        g_own, h_own = plain.assemble(plain_row[int(owner)])
+        assert g_rep.tobytes() == g_own.tobytes()
+        assert h_rep.tobytes() == h_own.tobytes()
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_class_collapse_verdicts_match_memoryless(seed):
+    """Solving one LP per class and fanning the verdict out flags exactly
+    the candidates the memoryless one-LP-per-candidate pass flags — on
+    the adversarial family whose cross-class value ties permute rows
+    between twins (the regime where byte-identity no longer holds)."""
+    rng = np.random.default_rng(50 + seed)
+    count = int(rng.integers(8, 36))
+    bs, cs, canon = duplicated_family(rng, count, 2)
+    already = np.zeros(count, dtype=bool)
+    plain = prepare_dominance_pass(bs, cs, already, quad_coeff=0.0)
+    coll = prepare_dominance_pass(bs, cs, already, quad_coeff=0.0, canon=canon)
+
+    probs_p = [plain.assemble(k) for k in range(plain.alpha.size)]
+    _, empty_p = polyhedron_feasible_point_batch(
+        [g for g, _ in probs_p], [h for _, h in probs_p]
+    )
+    mask_p = plain.out.copy()
+    mask_p[plain.alpha[empty_p]] = True
+
+    probs_c = [coll.assemble(k) for k in range(coll.alpha.size)]
+    _, empty_c = polyhedron_feasible_point_batch(
+        [g for g, _ in probs_c], [h for _, h in probs_c]
+    )
+    mask_c = coll.out.copy()
+    mask_c[coll.owners_alpha[empty_c[coll.owners_class]]] = True
+
+    assert np.array_equal(mask_c, mask_p)
+
+
+@pytest.mark.parametrize("runner", ["scalar", "batched"])
+def test_cached_witness_invalidated_by_new_competitor(runner):
+    """A cached witness is never trusted after a constraint it violates
+    arrives: the pre-pass re-checks it against the *current* competitor
+    field, so a newly appended dominator flags the candidate on the next
+    pass despite its stored pass-1 witness."""
+    from repro.core.bounds.dominance import dominated_mask, dominated_mask_batch
+
+    solve = dominated_mask if runner == "scalar" else dominated_mask_batch
+    # Pass 1: A (b=0, c=0) wins at its own optimum against the weak B.
+    bs = np.array([[0.0], [1.0]])
+    cs = np.array([0.0, 5.0])
+    witnesses = np.full((3, 1), np.nan)
+    out, _ = solve(
+        bs, cs, np.zeros(2, dtype=bool), quad_coeff=1.0,
+        witnesses=witnesses[:2],
+    )
+    assert not out[0]
+    assert not np.isnan(witnesses[0, 0])  # A's witness was cached
+    # Pass 2: C (b=0, c=-1) beats A everywhere — A's region is now empty.
+    bs2 = np.vstack([bs, [[0.0]]])
+    cs2 = np.append(cs, -1.0)
+    out2, _ = solve(
+        bs2, cs2, np.append(out, False), quad_coeff=1.0, witnesses=witnesses
+    )
+    assert out2[0], "stale witness shielded a now-dominated candidate"
+    assert not out2[2]
+
+
+def random_polyhedra(rng, n_problems, d=2):
+    """Mixed feasible/infeasible systems with 2..6 rows each."""
+    gs, hs = [], []
+    for _ in range(n_problems):
+        m = int(rng.integers(2, 7))
+        g = rng.normal(size=(m, d))
+        if rng.random() < 0.4:  # force emptiness: x1 <= -1 and -x1 <= -1
+            g[0] = 0.0
+            g[0, 0] = 1.0
+            g[1] = 0.0
+            g[1, 0] = -1.0
+            h = rng.normal(size=m)
+            h[0] = -1.0
+            h[1] = -1.0
+        else:
+            h = rng.normal(size=m) + 1.0
+        gs.append(g)
+        hs.append(h)
+    return gs, hs
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_stale_bases_cold_start_bitwise(seed):
+    """Garbage bases — wrong length, out of range, or singular — are all
+    rejected; centres and radii match the no-bases cold path bit for bit."""
+    rng = np.random.default_rng(200 + seed)
+    gs, hs = random_polyhedra(rng, 20)
+    cold_c, cold_r = chebyshev_center_batch(gs, hs)
+    garbage = []
+    for k, g in enumerate(gs):
+        rows = g.shape[0] + 1
+        if k % 4 == 0:
+            garbage.append(None)
+        elif k % 4 == 1:
+            garbage.append(np.zeros(rows - 1, dtype=np.int64))  # wrong length
+        elif k % 4 == 2:
+            garbage.append(np.full(rows, 10**6, dtype=np.int64))  # out of range
+        else:
+            garbage.append(np.zeros(rows, dtype=np.int64))  # singular (dup col)
+    warm_c, warm_r = chebyshev_center_batch(gs, hs, bases=garbage)
+    assert np.array_equal(cold_c, warm_c, equal_nan=True)
+    assert np.array_equal(cold_r, warm_r)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_valid_warm_bases_preserve_verdicts(seed):
+    """Re-solving with the previously optimal bases warm starts (stats
+    prove it) and keeps every emptiness verdict identical."""
+    rng = np.random.default_rng(300 + seed)
+    gs, hs = random_polyhedra(rng, 24)
+    cold_c, cold_r, bases = chebyshev_center_batch(gs, hs, return_bases=True)
+    stats: dict = {}
+    warm_c, warm_r = chebyshev_center_batch(gs, hs, bases=bases, stats=stats)
+    assert stats.get("lp_warm_starts", 0) > 0
+    assert np.array_equal(cold_r < 0.0, warm_r < 0.0)
+    # Non-empty problems keep a finite centre either way.
+    ok = cold_r >= 0.0
+    assert np.isfinite(warm_c[ok]).all()
+
+
+def test_trivial_constraint_counts_match_scalar():
+    """m=0 (all rows stripped), m=1 (analytic centre) and the
+    contradictory zero-row certificate are answered without a tableau,
+    bit-identical to the scalar path."""
+    d = 3
+    gs = [
+        np.zeros((2, d)),                       # all rows strip -> whole space
+        np.array([[1.0, -2.0, 0.5]]),           # one half-space
+        np.vstack([np.zeros(d), [1.0, 0.0, 0.0]]),  # zero row + real row
+        np.zeros((1, d)),                       # zero row with h < 0: empty
+    ]
+    hs = [
+        np.array([0.5, 0.0]),
+        np.array([-3.0]),
+        np.array([1.0, 2.0]),
+        np.array([-1.0]),
+    ]
+    b_centers, b_radii = chebyshev_center_batch(gs, hs)
+    for i, (g, h) in enumerate(zip(gs, hs)):
+        center, radius = chebyshev_center(g, h)
+        if center is None:
+            assert np.isnan(b_centers[i]).all()
+            assert b_radii[i] == -np.inf
+        else:
+            assert b_centers[i].tobytes() == np.asarray(center).tobytes()
+            assert b_radii[i] == radius
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_qp_hints_bit_identical(seed):
+    """Hints — absent, garbage, or recycled from ``return_active`` —
+    never change a masked bound-QP value or optimum by a single bit."""
+    rng = np.random.default_rng(400 + seed)
+    n = 3
+    B = 40
+    a = rng.normal(size=(n, n))
+    h = a.T @ a + np.eye(n) * 0.5
+    fixed_mask = rng.random((B, n)) < 0.4
+    lower_mask = (rng.random((B, n)) < 0.5) & ~fixed_mask
+    fixed_vals = rng.normal(size=(B, n))
+    lower_vals = rng.normal(size=(B, n))
+
+    v0, t0, act = solve_bound_qp_masked(
+        h, fixed_mask, fixed_vals, lower_mask, lower_vals, return_active=True
+    )
+    garbage = rng.integers(-1, 2**n, size=B).astype(np.int64)
+    for hints in (garbage, act, np.full(B, -1, dtype=np.int64)):
+        v, t = solve_bound_qp_masked(
+            h, fixed_mask, fixed_vals, lower_mask, lower_vals, hints=hints
+        )
+        assert v.tobytes() == v0.tobytes()
+        assert t.tobytes() == t0.tobytes()
+
+
+def tie_heavy_problem(n_relations=3, n_tuples=90, dims=2, levels=4, seed=0):
+    """Miniature of the benchmark's tie-heavy workload: quantised
+    vectors/scores so streams stall and exact duplicates occur."""
+    rng = np.random.default_rng(seed)
+    side = (n_tuples / 50.0) ** (1.0 / dims)
+    relations = []
+    for i in range(n_relations):
+        vectors = rng.uniform(-side / 2, side / 2, size=(n_tuples, dims))
+        grid = np.linspace(-side / 2, side / 2, levels)
+        vectors = grid[np.abs(vectors[..., None] - grid).argmin(axis=-1)]
+        scores = rng.choice(np.linspace(0.1, 1.0, levels), size=n_tuples)
+        relations.append(Relation(f"R{i + 1}", scores, vectors, sigma_max=1.0))
+    return relations, np.zeros(dims)
+
+
+def _run(relations, query, *, algo, batch_kernel, incremental):
+    scoring = EuclideanLogScoring(1.0, 1.0, 1.0)
+    return make_algorithm(
+        algo, relations, scoring, query, 5,
+        kind=AccessKind.DISTANCE, pull_block=4, dominance_period=2,
+        batch_kernel=batch_kernel, incremental=incremental,
+    ).run()
+
+
+def _same_answer(a, b):
+    return (
+        a.depths == b.depths
+        and a.bound == b.bound  # bitwise
+        and [(c.key, c.score) for c in a.combinations]
+        == [(c.key, c.score) for c in b.combinations]
+    )
+
+
+@pytest.mark.parametrize("algo", ["TBPA", "TBRR"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_engine_three_way_identity(algo, seed):
+    """Incremental == memoryless batched == scalar, on the tie-heavy
+    workload, for both pulling strategies."""
+    relations, query = tie_heavy_problem(seed=seed)
+    inc = _run(relations, query, algo=algo, batch_kernel=True, incremental=True)
+    bat = _run(
+        relations, query, algo=algo, batch_kernel=True, incremental=False
+    )
+    sca = _run(
+        relations, query, algo=algo, batch_kernel=False, incremental=True
+    )
+    assert inc.completed and bat.completed and sca.completed
+    assert _same_answer(inc, bat)
+    assert _same_answer(inc, sca)
+
+
+def test_engine_reuse_counters_fire():
+    """The incremental machinery does real work on the tie-heavy
+    workload: duplicates collapse, cached witnesses answer candidates,
+    and the solved-LP count drops below the memoryless kernel's."""
+    relations, query = tie_heavy_problem(n_tuples=120, seed=2)
+    inc = _run(
+        relations, query, algo="TBPA", batch_kernel=True, incremental=True
+    )
+    bat = _run(
+        relations, query, algo="TBPA", batch_kernel=True, incremental=False
+    )
+    assert inc.counters["dominance_lp_deduped"] > 0
+    assert inc.counters["dominance_witness_hits"] > 0
+    assert inc.counters["lp_solves"] < bat.counters["lp_solves"]
+    # The memoryless kernel never touches the reuse counters.
+    assert bat.counters["dominance_lp_reused"] == 0
+    assert bat.counters["dominance_lp_deduped"] == 0
