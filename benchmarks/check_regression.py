@@ -3,7 +3,8 @@
 Compares the *current* benchmark trajectory against a *baseline*
 snapshot (typically the committed ``BENCH_core.json``, copied aside
 before the benchmark run overwrites it) and fails when any record whose
-name matches ``--pattern`` got slower than ``--threshold`` times its
+name matches a ``--pattern`` (repeatable; defaults to the bound-kernel
+*and* proc-pool families) got slower than ``--threshold`` times its
 baseline wall.
 
 Records are only compared when both sides ran the same workload size:
@@ -43,9 +44,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="baseline trajectory JSON (committed snapshot)")
     parser.add_argument("--current", required=True,
                         help="current trajectory JSON (after the bench run)")
-    parser.add_argument("--pattern", default="bound_kernel[*",
-                        help="fnmatch pattern of record names to gate "
-                             "(default: %(default)r)")
+    parser.add_argument("--pattern", action="append", default=None,
+                        help="fnmatch pattern of record names to gate; "
+                             "repeatable (default: 'bound_kernel[*' and "
+                             "'proc_pool[*')")
     parser.add_argument("--threshold", type=float, default=1.25,
                         help="fail when current wall > threshold * baseline "
                              "wall (default: %(default)s)")
@@ -53,16 +55,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="allow a current trajectory with no matching "
                              "records (default: at least one is required)")
     args = parser.parse_args(argv)
+    patterns = args.pattern or ["bound_kernel[*", "proc_pool[*"]
 
     baseline = load_records(args.baseline)
     current = load_records(args.current)
 
     matched = {
         name: rec for name, rec in current.items()
-        if fnmatch.fnmatch(name, args.pattern)
+        if any(fnmatch.fnmatch(name, pat) for pat in patterns)
     }
     if args.require and not matched:
-        print(f"FAIL: no current record matches {args.pattern!r} — "
+        print(f"FAIL: no current record matches {patterns!r} — "
               f"the benchmark suite stopped recording")
         return 1
 

@@ -1,0 +1,153 @@
+"""Process-pool serving-tier benchmarks: GIL-free throughput + identity.
+
+Two claims, measured and asserted:
+
+* **Throughput** — a tie-heavy n=3 TBPA batch (quantised grids: the
+  solver-bound regime where Python threads serialise on the GIL) runs
+  through a 4-worker ``ProcPoolRankJoinService`` at >= ``MIN_SPEEDUP``
+  the queries/sec of the threaded ``RankJoinService.submit_many`` path
+  with the same parallelism.  The speedup bar is only asserted on hosts
+  that actually expose >= 4 CPUs (``os.sched_getaffinity``); on a 1-core
+  container the process pool cannot beat threads and the records are
+  still written for trajectory diffing.
+* **Bit-identity** — the answers the workers ship over the compact wire
+  format (top-K keys *and* float scores, per-relation depths, final
+  bound) equal the single-process service's answers under ``==``, for
+  S in {1, 2, 4} shards and both access kinds.
+
+Both legs land ``proc_pool[...]`` records in ``BENCH_core.json``
+(threads vs workers walls + qps), gated by
+``benchmarks/check_regression.py`` in the CI proc-pool job.
+
+Set ``PROXRJ_BENCH_QUICK=1`` (CI smoke mode) to shrink the workload.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import record_bench
+from test_bench_bound_kernel import tie_heavy_problem
+from repro.core import AccessKind, EuclideanLogScoring, ShardedRelation
+from repro.data import SyntheticConfig, generate_problem
+from repro.service import ProcPoolRankJoinService, RankJoinService
+
+QUICK = bool(os.environ.get("PROXRJ_BENCH_QUICK"))
+
+#: Tie-heavy throughput workload: small enough that the 1-core tier-1
+#: run stays fast, large enough that each query is solver-bound (the
+#: regime where processes beat GIL-serialised threads).
+TIE_N_TUPLES = 80 if QUICK else 120
+N_QUERIES = 8 if QUICK else 16
+WORKERS = 4
+
+#: Acceptance bar: 4 worker processes must deliver at least this many
+#: times the threaded queries/sec — asserted only when the host exposes
+#: >= 4 CPUs, because on fewer cores the fork/IPC overhead cannot be
+#: amortised by parallelism.
+MIN_SPEEDUP = 2.5
+
+SCORING = EuclideanLogScoring(1.0, 1.0, 1.0)
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _sig(res):
+    return (
+        [(c.key, c.score) for c in res.combinations],
+        tuple(res.depths),
+        res.bound,
+        res.completed,
+    )
+
+
+def _tie_queries(count, dims=2, n_tuples=TIE_N_TUPLES, seed=3):
+    # Same spatial extent the tie-heavy generator draws its grid from,
+    # so every query lands inside the data cloud.
+    side = (n_tuples / 50.0) ** (1.0 / dims)
+    rng = np.random.default_rng(seed)
+    return [rng.uniform(-side / 2, side / 2, size=dims) for _ in range(count)]
+
+
+def test_procpool_vs_threads_throughput():
+    relations, _ = tie_heavy_problem(n_tuples=TIE_N_TUPLES)
+    queries = _tie_queries(N_QUERIES)
+    common = dict(algorithm="TBPA", k=10, pull_block=8, result_cache_size=0)
+
+    with RankJoinService(
+        relations, SCORING, max_workers=WORKERS, **common
+    ) as threads:
+        threads.submit(_tie_queries(1, seed=99)[0])  # warm imports/caches
+        t0 = time.perf_counter()
+        thread_results = threads.submit_many(queries)
+        thread_wall = time.perf_counter() - t0
+
+    with ProcPoolRankJoinService(
+        relations, SCORING, workers=WORKERS, **common
+    ) as pool:
+        pool.warm_up()  # spawn + ping every worker before the clock starts
+        t0 = time.perf_counter()
+        pool_results = pool.submit_many(queries)
+        pool_wall = time.perf_counter() - t0
+        stats = pool.stats.snapshot()
+
+    # Identity first: the speedup is meaningless if the answers drift.
+    assert [_sig(r) for r in pool_results] == [_sig(r) for r in thread_results]
+    assert stats["worker_queries"] == N_QUERIES
+    assert stats["affinity_hits"] + stats["affinity_steals"] == N_QUERIES
+
+    thread_qps = N_QUERIES / thread_wall
+    pool_qps = N_QUERIES / pool_wall
+    record_bench(
+        f"proc_pool[threads={WORKERS}]",
+        thread_wall,
+        qps=round(thread_qps, 3),
+        queries=N_QUERIES,
+        n_tuples=TIE_N_TUPLES,
+    )
+    record_bench(
+        f"proc_pool[workers={WORKERS}]",
+        pool_wall,
+        qps=round(pool_qps, 3),
+        queries=N_QUERIES,
+        n_tuples=TIE_N_TUPLES,
+        speedup=round(pool_qps / thread_qps, 3),
+        cores=_cores(),
+    )
+    if _cores() >= WORKERS:
+        assert pool_qps >= MIN_SPEEDUP * thread_qps, (
+            f"process pool {pool_qps:.1f} qps < {MIN_SPEEDUP}x threaded "
+            f"{thread_qps:.1f} qps on a {_cores()}-core host"
+        )
+
+
+@pytest.mark.parametrize("kind", [AccessKind.DISTANCE, AccessKind.SCORE])
+def test_procpool_bit_identity_across_shards(kind):
+    base, _ = generate_problem(
+        SyntheticConfig(
+            n_relations=2, dims=2, density=50.0, skew=1.0,
+            n_tuples=48, seed=1,
+        )
+    )
+    rng = np.random.default_rng(11)
+    queries = [rng.uniform(-3.0, 3.0, size=2) for _ in range(4)]
+    for shards in (1, 2, 4):
+        relations = (
+            base if shards == 1
+            else [ShardedRelation.from_relation(r, shards=shards)
+                  for r in base]
+        )
+        with RankJoinService(relations, SCORING, kind=kind, k=5) as ref:
+            want = [_sig(ref.submit(q)) for q in queries]
+        with ProcPoolRankJoinService(
+            relations, SCORING, kind=kind, k=5, workers=2
+        ) as pool:
+            got = [_sig(r) for r in pool.submit_many(queries)]
+        assert got == want, f"S={shards} kind={kind}"

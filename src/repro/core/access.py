@@ -464,6 +464,23 @@ class MergeStream:
         self._stage_scores = np.empty(0)
         self._stage_tids = np.empty(0, dtype=np.int64)
         self._stage_pos = 0
+        #: Whether the stage arrays live in the reusable slabs below
+        #: (multi-shard refills) or are views of immutable cursor arrays
+        #: (single-live fast path) — decides whether escaping rank
+        #: chunks must be copied out of the stage.
+        self._stage_is_slab = False
+        # Grow-by-doubling merge scratch, reused across refills: the
+        # stacked candidate columns fed to the lexsort and the staged
+        # payload rows.  S-way merges refill thousands of times per
+        # query; reallocating these per refill is the "S=8 merge tax".
+        self._scratch_cap = 0
+        self._scr_ranks = self._scr_keys = np.empty(0)
+        self._scr_tids = np.empty(0, dtype=np.int64)
+        self._scr_shards = np.empty(0, dtype=np.intp)
+        self._stage_cap = 0
+        self._stage_ranks_buf = self._stage_scores_buf = np.empty(0)
+        self._stage_tids_buf = np.empty(0, dtype=np.int64)
+        self._stage_vecs_buf = np.empty((0, relation.dim))
         # Rank statistics of the *pulled* prefix only.
         self._first_rank: float | None = None
         self._last_rank: float | None = None
@@ -528,7 +545,13 @@ class MergeStream:
                 self._stage_scores[lo:hi],
                 self._stage_tids[lo:hi],
             )
-            self._rank_chunks.append(self._stage_ranks[lo:hi])
+            chunk = self._stage_ranks[lo:hi]
+            if self._stage_is_slab:
+                # The slab is overwritten by the next refill; rank
+                # chunks outlive it (``distances`` concatenates them),
+                # so they must leave the slab by copy.
+                chunk = chunk.copy()
+            self._rank_chunks.append(chunk)
             if self._first_rank is None:
                 self._first_rank = float(self._stage_ranks[lo])
             self._last_rank = float(self._stage_ranks[hi - 1])
@@ -570,6 +593,7 @@ class MergeStream:
             self._stage_scores = scores
             self._stage_tids = tids
             self._stage_pos = 0
+            self._stage_is_slab = False
             c.pos += take
             return True
         if self._executor is not None:
@@ -582,13 +606,25 @@ class MergeStream:
                 windows = [c.window(span) for c in live]
         else:
             windows = [c.window(span) for c in live]
-        ranks = np.concatenate([w[0] for w in windows])
-        tids = np.concatenate([w[1] for w in windows])
         sizes = [len(w[0]) for w in windows]
-        shard_of = np.repeat(np.arange(len(live)), sizes)
+        total = sum(sizes)
+        self._ensure_scratch(total)
+        ranks = self._scr_ranks[:total]
+        tids = self._scr_tids[:total]
+        shard_of = self._scr_shards[:total]
+        off = 0
+        for s, w in enumerate(windows):
+            k = len(w[0])
+            ranks[off : off + k] = w[0]
+            tids[off : off + k] = w[1]
+            shard_of[off : off + k] = s
+            off += k
         # Merge key mirrors the single-shard lexsort: (distance, tid)
         # ascending, or (-score, tid) — cursors carry raw score ranks.
-        keys = ranks if self.kind is AccessKind.DISTANCE else -ranks
+        if self.kind is AccessKind.DISTANCE:
+            keys = ranks
+        else:
+            keys = np.negative(ranks, out=self._scr_keys[:total])
         order = np.lexsort((tids, keys))
         sel = order[: min(span, len(order))]
         sel_shards = shard_of[sel]
@@ -605,22 +641,47 @@ class MergeStream:
             for s, p in zip(sel_shards.tolist(), local.tolist())
         ]
         take = len(sel)
-        vecs = np.empty((take, self.relation.dim))
-        scores = np.empty(take)
+        self._ensure_stage(take)
+        vecs = self._stage_vecs_buf[:take]
+        scores = self._stage_scores_buf[:take]
         for s, w in enumerate(windows):
             k = int(counts[s])
             if k:
                 mask = sel_shards == s
                 vecs[mask] = w[2][:k]
                 scores[mask] = w[3][:k]
-        self._stage_ranks = ranks[sel]
+        self._stage_ranks = np.take(ranks, sel, out=self._stage_ranks_buf[:take])
         self._stage_vecs = vecs
         self._stage_scores = scores
-        self._stage_tids = tids[sel]
+        self._stage_tids = np.take(tids, sel, out=self._stage_tids_buf[:take])
         self._stage_pos = 0
+        self._stage_is_slab = True
         for s, c in enumerate(live):
             c.pos += int(counts[s])
         return True
+
+    def _ensure_scratch(self, need: int) -> None:
+        """Candidate-column slabs (ranks/tids/shard ids/negated keys)
+        big enough for ``need`` stacked rows, growing by doubling."""
+        if self._scratch_cap >= need:
+            return
+        cap = max(need, 2 * self._scratch_cap, self.READAHEAD)
+        self._scr_ranks = np.empty(cap)
+        self._scr_keys = np.empty(cap)
+        self._scr_tids = np.empty(cap, dtype=np.int64)
+        self._scr_shards = np.empty(cap, dtype=np.intp)
+        self._scratch_cap = cap
+
+    def _ensure_stage(self, need: int) -> None:
+        """Staged-payload slabs for ``need`` merged rows (same growth)."""
+        if self._stage_cap >= need:
+            return
+        cap = max(need, 2 * self._stage_cap, self.READAHEAD)
+        self._stage_ranks_buf = np.empty(cap)
+        self._stage_scores_buf = np.empty(cap)
+        self._stage_tids_buf = np.empty(cap, dtype=np.int64)
+        self._stage_vecs_buf = np.empty((cap, self.relation.dim))
+        self._stage_cap = cap
 
     # -- distance-kind statistics -----------------------------------------
 

@@ -441,9 +441,14 @@ class DurableShardBackend:
         bucket: bytes,
         positions: np.ndarray,
         ranks: np.ndarray,
-    ) -> None:
-        """Write one computed order back to the catalog."""
-        self.catalog.put_order(
+    ) -> bool:
+        """Write one computed order back to the catalog.
+
+        Returns ``True`` when the row landed; ``False`` on a read-only
+        catalog (worker processes keep their sorts in the local LRU and
+        never contend on the store's writer lock).
+        """
+        written = self.catalog.put_order(
             relation=self.relation.name,
             generation=self.generation,
             shard_index=shard_index,
@@ -452,7 +457,9 @@ class DurableShardBackend:
             perm=positions,
             ranks=ranks,
         )
-        self.counters["catalog_order_writes"] += 1
+        if written:
+            self.counters["catalog_order_writes"] += 1
+        return written
 
     def load_recent_orders(self, kind: "AccessKind", *, limit: int):
         """Warm-start feed: the most recently used persisted orders of
@@ -629,12 +636,13 @@ class DurableRelation(Relation):
         memory_budget: int | None = None,
         verify: bool = False,
         page_rows: int = _PAGE_ROWS,
+        read_only: bool = False,
     ) -> None:
         self.path = Path(path)
         catalog_path = self.path / CATALOG_FILENAME
         if not catalog_path.exists():
             raise FileNotFoundError(f"no durable catalog at {catalog_path}")
-        catalog = ShardCatalog(catalog_path)
+        catalog = ShardCatalog(catalog_path, read_only=read_only)
         names = catalog.relation_names()
         if name is None:
             if len(names) != 1:
@@ -858,8 +866,21 @@ def open_relation(
     memory_budget: int | None = None,
     verify: bool = False,
     page_rows: int = _PAGE_ROWS,
+    read_only: bool = False,
 ) -> DurableRelation:
-    """Open one relation from the durable store at ``path``."""
+    """Open one relation from the durable store at ``path``.
+
+    ``read_only=True`` opens the catalog without write access — the
+    multi-process serving contract: any number of worker processes can
+    map the same shard files (one physical copy in the page cache) and
+    probe persisted orders concurrently without ever taking the WAL
+    writer lock.
+    """
     return DurableRelation(
-        path, name, memory_budget=memory_budget, verify=verify, page_rows=page_rows
+        path,
+        name,
+        memory_budget=memory_budget,
+        verify=verify,
+        page_rows=page_rows,
+        read_only=read_only,
     )

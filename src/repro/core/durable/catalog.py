@@ -26,6 +26,14 @@ files — fully readable.
 The catalog object is thread-safe: one connection opened with
 ``check_same_thread=False`` and every statement serialised under an
 internal lock (the service submits from a thread pool).
+
+Read-only mode (``read_only=True``) is the multi-process serving
+contract: the connection is opened with the SQLite ``mode=ro`` URI (or,
+where URI opens are unavailable, falls back to ``PRAGMA query_only=ON``)
+so a fleet of worker processes can probe persisted orders concurrently
+under WAL without ever taking the writer lock.  In this mode
+``get_order`` never bumps hit counters, ``put_order`` is a no-op that
+returns ``False``, and generation flips raise.
 """
 
 from __future__ import annotations
@@ -89,10 +97,23 @@ CREATE TABLE IF NOT EXISTS orders (
 class ShardCatalog:
     """Transactional metadata store for one durable relation directory."""
 
-    def __init__(self, path: Path | str, *, busy_timeout_ms: int = 30_000) -> None:
+    def __init__(
+        self,
+        path: Path | str,
+        *,
+        busy_timeout_ms: int = 30_000,
+        read_only: bool = False,
+    ) -> None:
         self.path = Path(path)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.read_only = bool(read_only)
         self._lock = threading.RLock()
+        if self.read_only:
+            self._conn = self._connect_read_only(busy_timeout_ms)
+            with self._lock:
+                cur = self._conn.cursor()
+                cur.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(
             str(self.path),
             check_same_thread=False,
@@ -106,6 +127,40 @@ class ShardCatalog:
             cur.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
             cur.executescript(_SCHEMA)
             self._conn.commit()
+
+    def _connect_read_only(self, busy_timeout_ms: int) -> "sqlite3.Connection":
+        """Open without ever acquiring the writer lock.
+
+        Preferred path: a ``mode=ro`` URI connection — the main database
+        file is opened read-only, so even a misbehaving statement cannot
+        mutate catalog state.  WAL readers still need the shared-memory
+        index, which SQLite creates on demand next to the database; when
+        that (or URI support itself) is unavailable the fallback is a
+        normal connection pinned by ``PRAGMA query_only=ON``, which
+        rejects every write statement at the SQLite level.
+        """
+        if not self.path.exists():
+            raise FileNotFoundError(
+                f"cannot open catalog read-only: {self.path} does not exist"
+            )
+        timeout = busy_timeout_ms / 1000.0
+        try:
+            conn = sqlite3.connect(
+                f"file:{self.path}?mode=ro",
+                uri=True,
+                check_same_thread=False,
+                timeout=timeout,
+            )
+            # Force the first real page read now so an unusable ro handle
+            # (e.g. a WAL side file it cannot map) fails here, not later.
+            conn.execute("SELECT 1 FROM sqlite_master LIMIT 1").fetchone()
+            return conn
+        except sqlite3.OperationalError:
+            conn = sqlite3.connect(
+                str(self.path), check_same_thread=False, timeout=timeout
+            )
+            conn.execute("PRAGMA query_only=ON")
+            return conn
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -179,6 +234,8 @@ class ShardCatalog:
         previous generation are unaffected until the commit lands; a
         writer dying before this call leaves the catalog untouched.
         """
+        if self.read_only:
+            raise RuntimeError("commit_generation on a read-only catalog")
         with self._lock:
             cur = self._conn.cursor()
             try:
@@ -218,6 +275,8 @@ class ShardCatalog:
     def prune_generations(self, name: str, keep_generation: int) -> list[str]:
         """Drop shard rows older than ``keep_generation``; returns their
         filenames so the caller can unlink the (now unreferenced) files."""
+        if self.read_only:
+            raise RuntimeError("prune_generations on a read-only catalog")
         with self._lock:
             cur = self._conn.cursor()
             stale = [
@@ -246,13 +305,17 @@ class ShardCatalog:
         bucket: bytes,
         perm: np.ndarray,
         ranks: np.ndarray,
-    ) -> None:
+    ) -> bool:
         """Persist one computed access order (idempotent upsert).
 
         The blobs are the exact little-endian int64/float64 bytes of the
         computed permutation and rank column — reloads are bit-identical
-        by construction.
+        by construction.  Returns ``True`` when the row was written;
+        ``False`` on a read-only catalog (the order simply stays local to
+        the worker's in-memory LRU).
         """
+        if self.read_only:
+            return False
         perm_blob = np.ascontiguousarray(perm, dtype=np.int64).tobytes()
         ranks_blob = np.ascontiguousarray(ranks, dtype=np.float64).tobytes()
         with self._lock:
@@ -267,6 +330,7 @@ class ShardCatalog:
                 (relation, generation, shard_index, kind, bucket, perm_blob, ranks_blob),
             )
             self._conn.commit()
+        return True
 
     def get_order(
         self,
@@ -282,8 +346,11 @@ class ShardCatalog:
 
         A hit bumps the row's ``hits`` counter and recency stamp — the
         catalog-side proof that a warm query was served without a
-        re-sort.
+        re-sort.  Read-only catalogs skip the bump (concurrent worker
+        readers must never queue on the writer lock just to count).
         """
+        if self.read_only:
+            count_hit = False
         with self._lock:
             row = self._conn.execute(
                 "SELECT perm, ranks FROM orders WHERE relation = ? AND "

@@ -145,21 +145,28 @@ def load_problem_durable(
     *,
     memory_budget: int | None = None,
     verify: bool = False,
+    read_only: bool = False,
 ) -> tuple[list[Relation], np.ndarray]:
     """Open a problem written by :func:`save_problem_durable`.
 
     Relations come back as memmap-backed
     :class:`~repro.core.durable.DurableRelation` objects, in the order
     they were first persisted — ready to serve queries (or warm-start a
-    service) without loading the columns into RAM.
+    service) without loading the columns into RAM.  ``read_only=True``
+    opens every catalog connection without write access (the pool-worker
+    contract: shard memmaps shared through the page cache, no writer
+    lock ever taken).
     """
     path = Path(path)
     from repro.core.durable import CATALOG_FILENAME, ShardCatalog, open_relation
 
-    with ShardCatalog(path / CATALOG_FILENAME) as catalog:
+    with ShardCatalog(path / CATALOG_FILENAME, read_only=read_only) as catalog:
         names = catalog.relation_names()
     relations: list[Relation] = [
-        open_relation(path, name, memory_budget=memory_budget, verify=verify)
+        open_relation(
+            path, name, memory_budget=memory_budget, verify=verify,
+            read_only=read_only,
+        )
         for name in names
     ]
     query = np.load(path / QUERY_FILENAME)

@@ -7,6 +7,11 @@ motivates.
 * :mod:`repro.service.rankjoin` — a *local* multi-query
   :class:`RankJoinService` that runs many queries against shared
   relations with LRU-cached access orders and the block-pull engine.
+* :mod:`repro.service.procpool` — the multi-process serving tier:
+  :class:`ProcPoolRankJoinService` fans queries out to worker processes
+  that each map the durable store read-only (shared page cache, no GIL
+  sharing), with bucket-affinity dispatch, crash recovery and worker
+  recycling in the parent.
 * :mod:`repro.service.async_service` — the async serving subsystem:
   :class:`AsyncRankJoinService` with awaitable ``submit``, bounded
   admission (backpressure), per-query deadlines/cancellation, and
@@ -19,6 +24,10 @@ from repro.service.async_service import (
     AsyncServiceStats,
     QueryRejected,
     RemoteShardStream,
+)
+from repro.service.procpool import (
+    ProcPoolRankJoinService,
+    ProcPoolServiceStats,
 )
 from repro.service.rankjoin import (
     CachedOrder,
@@ -39,6 +48,8 @@ __all__ = [
     "AsyncServiceStats",
     "QueryRejected",
     "RemoteShardStream",
+    "ProcPoolRankJoinService",
+    "ProcPoolServiceStats",
     "CachedOrder",
     "CachedOrderStream",
     "RankJoinService",

@@ -394,6 +394,22 @@ class AsyncRankJoinService(RankJoinService):
         window (default: one full window).
     engine_workers:
         Threads running engine loops; defaults to ``max_inflight``.
+    executor:
+        ``"thread"`` (default) runs engines on the thread pool over the
+        simulated remote endpoints.  ``"process"`` offloads each
+        admitted query to a :class:`~repro.service.procpool.
+        ProcPoolRankJoinService` — real cores instead of GIL-sharing
+        threads; the event-loop thread pool then only *waits* on worker
+        pipes (GIL released).  Process mode serves the relations
+        directly (no simulated network latency), and a dispatched query
+        runs to completion in its worker: deadlines are still enforced
+        while queued and at dispatch time, but cannot interrupt a run
+        mid-flight across the process boundary.
+    proc_workers:
+        Worker-process count for ``executor="process"`` (default 4).
+    proc_options:
+        Extra :class:`ProcPoolRankJoinService` keyword arguments
+        (``max_tasks_per_worker``, ``mp_context``, ``store_path``, ...).
     """
 
     #: The base constructor instantiates this, so warm-start counters
@@ -415,8 +431,13 @@ class AsyncRankJoinService(RankJoinService):
         pipelined: bool = True,
         prefetch_rows: int | None = None,
         engine_workers: int | None = None,
+        executor: str = "thread",
+        proc_workers: int | None = None,
+        proc_options: dict | None = None,
         **kwargs,
     ) -> None:
+        if executor not in ("thread", "process"):
+            raise ValueError("executor must be 'thread' or 'process'")
         if page_size < 1:
             raise ValueError("page_size must be >= 1")
         if max_inflight < 1:
@@ -446,6 +467,28 @@ class AsyncRankJoinService(RankJoinService):
             max_workers=engine_workers or max_inflight,
             thread_name_prefix="async-rankjoin",
         )
+        self.executor = executor
+        self._procpool = None
+        if executor == "process":
+            from repro.service.procpool import ProcPoolRankJoinService
+
+            options = dict(proc_options or {})
+            options.setdefault("workers", proc_workers or 4)
+            # The async front-end owns the shared result cache; caching
+            # again inside the child pool would just shadow it.
+            options.setdefault("result_cache_size", 0)
+            self._procpool = ProcPoolRankJoinService(
+                relations,
+                scoring,
+                kind=self.kind,
+                algorithm=self.algorithm,
+                k=self.k,
+                pull_block=self.pull_block,
+                bound_period=self.bound_period,
+                bucket_decimals=self.bucket_decimals,
+                max_pulls=self.max_pulls,
+                **options,
+            )
         self._endpoints = _LRU(kwargs["cache_size"])
         self._remote_meter = _RemoteMeter()
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -470,6 +513,8 @@ class AsyncRankJoinService(RankJoinService):
             ctx.cancel.set()
             ctx.close()
         self._engine_pool.shutdown(wait=True)
+        if self._procpool is not None:
+            self._procpool.close()
         super().close()
 
     async def __aenter__(self) -> "AsyncRankJoinService":
@@ -634,6 +679,35 @@ class AsyncRankJoinService(RankJoinService):
         )
         return engine.run()
 
+    def _run_process(
+        self, canonical: np.ndarray, bucket: bytes, k: int, ctx: _QueryContext
+    ) -> RunResult:
+        """Engine-thread body under ``executor="process"``: hand the
+        query to the process pool and block (GIL released in the pipe
+        read) until its worker answers.  The expiry check happens at
+        dispatch time — a query that spent its deadline in the admission
+        queue returns the empty certified partial without ever crossing
+        a process boundary."""
+        if ctx.should_stop():
+            from repro.core.bounds.base import INFINITY
+
+            return RunResult(
+                combinations=[],
+                depths=[0] * len(self.relations),
+                bound=INFINITY,
+                total_seconds=0.0,
+                bound_seconds=0.0,
+                dominance_seconds=0.0,
+                combinations_formed=0,
+                completed=False,
+            )
+        return self._procpool.submit(canonical, k)
+
+    @property
+    def proc_stats(self):
+        """The process pool's own stats (None under thread executor)."""
+        return None if self._procpool is None else self._procpool.stats
+
     # -- submission ---------------------------------------------------------
 
     async def submit(
@@ -691,8 +765,13 @@ class AsyncRankJoinService(RankJoinService):
             async with self._run_sem:
                 with self._lock:
                     self._active.add(ctx)
+                runner = (
+                    self._run_process
+                    if self._procpool is not None
+                    else self._run_remote
+                )
                 future = loop.run_in_executor(
-                    self._engine_pool, self._run_remote, canonical, bucket, k, ctx
+                    self._engine_pool, runner, canonical, bucket, k, ctx
                 )
                 try:
                     result = await future

@@ -362,15 +362,35 @@ class RankJoinService:
             if shard_workers
             else None
         )
+        # Persistent submit_many pool, created lazily on the first batch
+        # (single-query services never pay for it) and reused across
+        # batches — spinning a fresh pool per call costs thread start-up
+        # and tears down warm stacks between batches.
+        self._query_pool: ThreadPoolExecutor | None = None
+
         if warm_start and self._durable:
             self._warm_start(cache_size)
 
+    def _ensure_query_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._query_pool is None:
+                self._query_pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="query-runner",
+                )
+            return self._query_pool
+
     def close(self) -> None:
-        """Shut down the shard-pull pool (idempotent).  The service stays
-        usable afterwards; sharded pulls just merge serially."""
+        """Shut down the shard-pull and batch pools (idempotent).  The
+        service stays usable afterwards; sharded pulls merge serially and
+        the next :meth:`submit_many` lazily rebuilds its pool."""
         if self._shard_pool is not None:
             self._shard_pool.shutdown(wait=True)
             self._shard_pool = None
+        with self._lock:
+            pool, self._query_pool = self._query_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "RankJoinService":
         return self
@@ -499,11 +519,13 @@ class RankJoinService:
             self._orders.put(key, order)
         if backend is not None:
             # Write the computed order back so the next process warm
-            # starts from it.
-            backend.store_order(
+            # starts from it (no-op on read-only stores: pool workers
+            # keep their sorts local rather than fight for the WAL
+            # writer lock).
+            if backend.store_order(
                 shard_idx, self.kind, key_bucket, order.positions, order.ranks
-            )
-            self.stats.record(catalog_order_writes=1)
+            ):
+                self.stats.record(catalog_order_writes=1)
         return order
 
     def _open_cached_stream(
@@ -627,11 +649,12 @@ class RankJoinService:
     ) -> list[RunResult]:
         """Run a batch of queries through a thread pool.
 
-        A fresh pool of ``max_workers`` threads is spun up per batch;
-        what is shared across workers (and across batches) are the
-        service's caches and meters.  Results align with ``queries``.
+        One persistent pool of ``max_workers`` threads serves every
+        batch (created lazily on the first call, shut down in
+        :meth:`close`); what is shared across workers are the service's
+        caches and meters.  Results align with ``queries``.
         """
         if not queries:
             return []
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            return list(pool.map(lambda q: self.submit(q, k), queries))
+        pool = self._ensure_query_pool()
+        return list(pool.map(lambda q: self.submit(q, k), queries))

@@ -1,0 +1,218 @@
+"""Compact wire format for the process-pool serving tier.
+
+Worker processes answer queries end-to-end; what crosses the pipe back
+to the parent is NOT a pickled ``RunResult`` object graph (tuples,
+relations, numpy views — arbitrarily large and full of duplicated
+state) but a fixed, minimal encoding:
+
+* the top-K **tid matrix** (``K x n_relations`` int64 — combination
+  identity),
+* the top-K **scores**, the per-relation **depths** and the final
+  **bound** as raw little-endian float64/int64 bytes — floats travel as
+  their exact bit patterns, which is what makes the parent-side
+  reassembled answers *bit-identical* to in-process runs,
+* engine timing, the ``BoundCounters`` dict and the worker's
+  ``ServiceStats`` **deltas** as a JSON tail of plain ints/floats
+  (Python's ``json`` round-trips floats through ``repr``, which is
+  exact for IEEE doubles).
+
+Requests are tiny: an opcode byte, a sequence number, ``k`` and the
+canonical query vector's float64 bytes.  Framing is handled by
+``multiprocessing.Connection.send_bytes``/``recv_bytes``; this module
+only defines payloads.
+
+The parent rehydrates :class:`~repro.core.relation.Combination` objects
+from the tid matrix against its own relations (tuple identity is
+``(relation, tid)``), attaching the worker-computed scores verbatim —
+nothing is re-derived, so a retried query re-encodes to the same bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.relation import Combination
+from repro.core.template import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.relation import Relation
+
+__all__ = [
+    "OP_QUERY",
+    "OP_PING",
+    "OP_SHUTDOWN",
+    "OP_RESULT",
+    "OP_PONG",
+    "OP_ERROR",
+    "encode_query",
+    "decode_query",
+    "encode_result",
+    "decode_result",
+    "encode_error",
+    "decode_error",
+    "rehydrate_result",
+]
+
+# Parent -> worker opcodes.
+OP_QUERY = b"Q"
+OP_PING = b"G"
+OP_SHUTDOWN = b"S"
+# Worker -> parent opcodes.
+OP_RESULT = b"R"
+OP_PONG = b"P"
+OP_ERROR = b"E"
+
+_QUERY_HEAD = struct.Struct("<qqq")  # seq, k, dim
+_RESULT_HEAD = struct.Struct("<qqqqB")  # seq, K, n_relations, json_len, completed
+
+
+def encode_query(seq: int, query: np.ndarray, k: int) -> bytes:
+    q = np.ascontiguousarray(query, dtype=np.float64)
+    return OP_QUERY + _QUERY_HEAD.pack(seq, k, q.shape[0]) + q.tobytes()
+
+
+def decode_query(payload: bytes) -> tuple[int, int, np.ndarray]:
+    """``(seq, k, query)`` from an ``OP_QUERY`` payload."""
+    seq, k, dim = _QUERY_HEAD.unpack_from(payload, 1)
+    off = 1 + _QUERY_HEAD.size
+    query = np.frombuffer(payload, dtype=np.float64, count=dim, offset=off)
+    return int(seq), int(k), query
+
+
+def encode_result(seq: int, result: RunResult, stats_deltas: dict) -> bytes:
+    """Flatten one finished run into the binary + JSON-tail layout."""
+    n = len(result.depths)
+    kk = len(result.combinations)
+    tids = np.empty((kk, n), dtype=np.int64)
+    scores = np.empty(kk, dtype=np.float64)
+    for i, combo in enumerate(result.combinations):
+        tids[i] = combo.key
+        scores[i] = combo.score
+    depths = np.asarray(result.depths, dtype=np.int64)
+    tail = json.dumps(
+        {
+            "timing": {
+                "total_seconds": result.total_seconds,
+                "bound_seconds": result.bound_seconds,
+                "dominance_seconds": result.dominance_seconds,
+                "solver_seconds": result.solver_seconds,
+            },
+            "combinations_formed": result.combinations_formed,
+            "counters": result.counters,
+            "stats": stats_deltas,
+        }
+    ).encode("utf-8")
+    head = _RESULT_HEAD.pack(seq, kk, n, len(tail), 1 if result.completed else 0)
+    return b"".join(
+        (
+            OP_RESULT,
+            head,
+            tids.tobytes(),
+            scores.tobytes(),
+            depths.tobytes(),
+            struct.pack("<d", float(result.bound)),
+            tail,
+        )
+    )
+
+
+def decode_result(payload: bytes) -> tuple[int, dict]:
+    """``(seq, fields)`` from an ``OP_RESULT`` payload.
+
+    ``fields`` carries the raw arrays (``tids``/``scores``/``depths``/
+    ``bound``) plus the decoded JSON tail; pair it with the serving
+    relations via :func:`rehydrate_result` to get a ``RunResult``.
+    """
+    seq, kk, n, tail_len, completed = _RESULT_HEAD.unpack_from(payload, 1)
+    off = 1 + _RESULT_HEAD.size
+    tids = np.frombuffer(payload, dtype=np.int64, count=kk * n, offset=off)
+    off += tids.nbytes
+    scores = np.frombuffer(payload, dtype=np.float64, count=kk, offset=off)
+    off += scores.nbytes
+    depths = np.frombuffer(payload, dtype=np.int64, count=n, offset=off)
+    off += depths.nbytes
+    (bound,) = struct.unpack_from("<d", payload, off)
+    off += 8
+    tail = json.loads(payload[off : off + tail_len].decode("utf-8"))
+    fields = {
+        "tids": tids.reshape(kk, n),
+        "scores": scores,
+        "depths": depths,
+        "bound": float(bound),
+        "completed": bool(completed),
+        **tail,
+    }
+    return int(seq), fields
+
+
+def encode_error(seq: int, exc: BaseException) -> bytes:
+    tail = json.dumps(
+        {"type": type(exc).__name__, "message": str(exc)}
+    ).encode("utf-8")
+    return OP_ERROR + struct.pack("<q", seq) + tail
+
+
+def decode_error(payload: bytes) -> tuple[int, str]:
+    (seq,) = struct.unpack_from("<q", payload, 1)
+    tail = json.loads(payload[9:].decode("utf-8"))
+    return int(seq), f"{tail['type']}: {tail['message']}"
+
+
+class _TidIndex:
+    """Vectorised tid -> row-position lookup for one relation."""
+
+    def __init__(self, relation: "Relation") -> None:
+        tids = np.asarray(relation.tids, dtype=np.int64)
+        self._sorter = np.argsort(tids, kind="stable")
+        self._sorted = tids[self._sorter]
+
+    def positions(self, tids: np.ndarray) -> np.ndarray:
+        idx = np.searchsorted(self._sorted, tids)
+        return self._sorter[idx]
+
+
+def rehydrate_result(fields: dict, relations: list["Relation"],
+                     index_cache: dict | None = None) -> RunResult:
+    """Reassemble a :class:`RunResult` from decoded wire fields.
+
+    Combination tuples are looked up in the parent's ``relations`` by
+    tid (identity — scores travel on the wire and are attached
+    verbatim).  ``index_cache`` maps relation name to a reusable
+    :class:`_TidIndex` so batch decodes pay the argsort once.
+    """
+    tids = fields["tids"]
+    combos = []
+    if len(tids):
+        rows = []
+        for j, rel in enumerate(relations):
+            if index_cache is not None:
+                index = index_cache.get(rel.name)
+                if index is None:
+                    index = index_cache[rel.name] = _TidIndex(rel)
+            else:
+                index = _TidIndex(rel)
+            positions = index.positions(tids[:, j])
+            rows.append([rel[int(p)] for p in positions])
+        scores = fields["scores"]
+        combos = [
+            Combination(tuple(rows[j][i] for j in range(len(relations))),
+                        float(scores[i]))
+            for i in range(tids.shape[0])
+        ]
+    timing = fields["timing"]
+    return RunResult(
+        combinations=combos,
+        depths=[int(d) for d in fields["depths"]],
+        bound=fields["bound"],
+        total_seconds=float(timing["total_seconds"]),
+        bound_seconds=float(timing["bound_seconds"]),
+        dominance_seconds=float(timing["dominance_seconds"]),
+        combinations_formed=int(fields["combinations_formed"]),
+        counters=dict(fields["counters"]),
+        completed=fields["completed"],
+        solver_seconds=float(timing["solver_seconds"]),
+    )

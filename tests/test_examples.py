@@ -102,3 +102,11 @@ class TestExamples:
         assert "batched kernel" in out
         assert "identical top-10, depths and bound" in out
         assert "potentials memo" in out
+
+    def test_procpool_service(self, capsys):
+        run_example("procpool_service.py")
+        out = capsys.readouterr().out
+        assert "queries/s" in out
+        assert "affinity hits" in out
+        assert "order-LRU hit rate" in out
+        assert "bit-identical to the threaded single-process run" in out
